@@ -1,0 +1,47 @@
+"""Benchmark: design-choice ablations (DESIGN.md §4)."""
+
+import json
+
+from repro.experiments import ablations
+
+
+def test_switch_placement_ablation(benchmark):
+    result = benchmark.pedantic(
+        ablations.switch_placement_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(json.dumps(result, indent=2))
+    assert (
+        result["upper_switched"]["switches"] < result["leaf_switched"]["switches"]
+    )
+
+
+def test_allocation_policy_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.allocation_policy_ablation(num_services=3, spaces_per_service=4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(json.dumps(result, indent=2))
+    assert result["paper_rules"]["disks_shared_by_services"] == 0
+
+
+def test_spin_down_policy_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.spin_down_policy_ablation(hours=12.0), rounds=1, iterations=1
+    )
+    print()
+    print(json.dumps(result, indent=2))
+    assert result["adaptive"]["spin_ups"] < result["fixed"]["spin_ups"]
+
+
+def test_heartbeat_timeout_ablation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.heartbeat_timeout_ablation(timeouts=(1.0, 4.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(json.dumps(result, indent=2))
+    assert result[1.0]["recovery_seconds"] < result[4.0]["recovery_seconds"]

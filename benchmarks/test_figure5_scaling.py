@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5 (multi-disk throughput scaling)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5_scaling(benchmark):
+    result = benchmark.pedantic(figure5.run, rounds=1, iterations=1)
+    print()
+    print(figure5.main())
+    assert all(result["anchors"].values()), result["anchors"]

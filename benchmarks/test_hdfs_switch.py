@@ -1,0 +1,10 @@
+"""Benchmark: §VII-B — HDFS write/read across a live disk switch."""
+
+from repro.experiments import hdfs_switch
+
+
+def test_hdfs_switch(benchmark):
+    result = benchmark.pedantic(hdfs_switch.run, rounds=1, iterations=1)
+    print()
+    print(hdfs_switch.main())
+    assert all(result["anchors"].values()), result["anchors"]

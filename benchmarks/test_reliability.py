@@ -1,0 +1,10 @@
+"""Benchmark: reliability extensions (availability, rebuild, scrubbing)."""
+
+from repro.experiments import reliability
+
+
+def test_reliability_extensions(benchmark):
+    result = benchmark.pedantic(reliability.run, rounds=1, iterations=1)
+    print()
+    print(reliability.main())
+    assert all(result["anchors"].values()), result["anchors"]

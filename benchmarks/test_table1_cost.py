@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table I (cost comparison, §VI)."""
+
+from repro.experiments import table1
+
+
+def test_table1_cost(benchmark):
+    result = benchmark(table1.run)
+    print()
+    print(table1.main())
+    assert len(result["rows"]) == 5
+    assert abs(result["capex_saving_vs_backblaze"] - 0.24) < 0.03
+    assert abs(result["attex_saving_vs_backblaze"] - 0.55) < 0.04

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table II (single-disk throughput, §VII-A)."""
+
+from repro.experiments import table2
+
+
+def test_table2_single_disk(benchmark):
+    result = benchmark(table2.run)
+    print()
+    print(table2.main())
+    assert len(result["rows"]) == 36
+    assert result["worst_error"] <= 0.12

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table III (one-disk power, §VII-C)."""
+
+from repro.experiments import table3
+
+
+def test_table3_disk_power(benchmark):
+    result = benchmark(table3.run)
+    print()
+    print(table3.main())
+    sata = result["measured"]["SATA"]
+    usb = result["measured"]["USB bridge"]
+    assert abs(sata[1] - 4.71) < 0.01 and abs(usb[1] - 5.76) < 0.01
+    assert abs(sata[2] - 6.66) < 0.01 and abs(usb[2] - 7.56) < 0.01

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table IV (hub power vs connected disks)."""
+
+from repro.experiments import table4
+
+
+def test_table4_hub_power(benchmark):
+    result = benchmark(table4.run)
+    print()
+    print(table4.main())
+    assert result["worst_error"] <= 0.05

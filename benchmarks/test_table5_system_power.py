@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table V (system power comparison, §VII-C)."""
+
+from repro.experiments import table5
+
+
+def test_table5_system_power(benchmark):
+    result = benchmark(table5.run)
+    print()
+    print(table5.main())
+    assert result["ordering_holds"]
+    assert result["worst_error"] <= 0.15

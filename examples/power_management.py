@@ -1,0 +1,86 @@
+"""Power management on a cold-storage unit (§IV-F, §VII-C).
+
+Replays 24 hours of cold-data accesses (Poisson reads, ~10-minute mean
+gaps) against a disk under three regimes — always on, fixed 5-minute
+spin-down, and UStore's adaptive policy — then prints the energy and
+spin-cycle trade-off, plus the whole-unit power states of Table V.
+
+Run:  python examples/power_management.py
+"""
+
+from repro.disk import IoRequest, SimulatedDisk, TOSHIBA_POWER_USB
+from repro.fabric import prototype_fabric
+from repro.power import (
+    AdaptiveTimeoutPolicy,
+    FixedTimeoutPolicy,
+    pergamum_power,
+    run_policy,
+    ustore_power,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.workload import cold_read_trace
+
+HOURS = 24.0
+
+
+def replay(policy_name: str, policy) -> dict:
+    sim = Simulator()
+    disk = SimulatedDisk(sim, "cold0")
+    if policy is not None:
+        run_policy(sim, {"cold0": disk}, policy, check_interval=10.0)
+    events = cold_read_trace(
+        RngRegistry(42), duration=HOURS * 3600.0, mean_interarrival=600.0
+    )
+
+    def reader():
+        for access in events:
+            delay = access.time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            yield disk.submit(
+                IoRequest(
+                    offset=access.offset,
+                    size=access.size,
+                    is_read=True,
+                    sequential_hint=False,
+                )
+            )
+
+    done = sim.process(reader())
+    sim.run_until_event(done)
+    sim.run(until=HOURS * 3600.0)
+    return {
+        "name": policy_name,
+        "requests": len(events),
+        "spin_ups": disk.states.spin_up_count,
+        "energy_wh": disk.energy_joules(TOSHIBA_POWER_USB) / 3600.0,
+    }
+
+
+def main() -> None:
+    print(f"Cold workload: Poisson reads, 10-minute mean gap, {HOURS:.0f} h\n")
+    rows = [
+        replay("always-on", None),
+        replay("fixed 5-min timeout", FixedTimeoutPolicy(idle_timeout=300.0)),
+        replay(
+            "adaptive (UStore default)",
+            AdaptiveTimeoutPolicy(idle_timeout=300.0, thrash_limit=3, thrash_window=3600.0),
+        ),
+    ]
+    print(f"{'policy':<28} {'requests':>8} {'spin-ups':>9} {'energy Wh':>10}")
+    for row in rows:
+        print(
+            f"{row['name']:<28} {row['requests']:>8} "
+            f"{row['spin_ups']:>9} {row['energy_wh']:>10.1f}"
+        )
+
+    print("\nWhole 16-disk unit (Table V states):")
+    fabric = prototype_fabric()
+    for state, spinning in (("spinning", True), ("powered off", False)):
+        ustore = ustore_power(fabric, spinning).wall_total
+        pergamum = pergamum_power(spinning).wall_total
+        print(f"  {state:<12} UStore {ustore:6.1f} W   Pergamum {pergamum:6.1f} W")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reliability deep-dive: availability, fabric-assisted rebuild, scrubbing.
+
+Quantifies what the paper argues qualitatively (§I, §III-A, §IV-E,
+§VIII): how much availability the reconfigurable fabric buys, how much
+faster (and cheaper on the network) a disk rebuild gets when the
+Master switches the source disk onto the rebuilding host, and how the
+scrub interval bounds latent-sector-error exposure.
+
+Run:  python examples/reliability_study.py
+"""
+
+from repro.experiments import reliability
+
+
+def main() -> None:
+    print(reliability.main())
+    print()
+    print("Reading the results:")
+    print("  * single-attached pods lose every disk for the full host")
+    print("    repair (~2h x ~3.5 failures/year -> ~7 downtime hours per")
+    print("    disk-year); UStore pays only the ~5.8s failover, gaining")
+    print("    about three 'nines' of disk availability.")
+    print("  * a fabric-assisted rebuild runs at disk speed on one host")
+    print("    and moves zero bytes across the data-center network - the")
+    print("    future work sketched at the end of §IV-E.")
+    print("  * scrubbing: detection latency tracks the scrub interval,")
+    print("    so the interval directly bounds LSE exposure windows.")
+
+
+if __name__ == "__main__":
+    main()

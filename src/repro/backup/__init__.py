@@ -1,0 +1,17 @@
+"""Venti-style deduplicating backup overlay on UStore."""
+
+from repro.backup.chunks import Chunk, FileVersion, chunk_file
+from repro.backup.service import BackupService, provision_archive, synthetic_dataset
+from repro.backup.store import ArchiveStore, ChunkLocation, SnapshotStats
+
+__all__ = [
+    "ArchiveStore",
+    "BackupService",
+    "Chunk",
+    "ChunkLocation",
+    "FileVersion",
+    "SnapshotStats",
+    "chunk_file",
+    "provision_archive",
+    "synthetic_dataset",
+]

@@ -1,0 +1,101 @@
+"""Command-line interface: run experiments and inspect the models.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run table2           # one experiment's report
+    python -m repro run all              # everything (slow)
+    python -m repro cost                 # Table I quick view
+    python -m repro validate --hosts 4 --disks-per-leaf 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    print("Available experiments:")
+    for name, module in ALL_EXPERIMENTS.items():
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<14} {summary}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_EXPERIMENTS
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        print(f"=== {name} ===")
+        print(ALL_EXPERIMENTS[name].main())
+        print()
+    return 0
+
+
+def _cmd_cost(_args: argparse.Namespace) -> int:
+    from repro.cost import render_cost_table
+
+    print(render_cost_table())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.fabric import ring_fabric, validate_fabric
+
+    fabric = ring_fabric(
+        num_hosts=args.hosts, disks_per_leaf=args.disks_per_leaf, fan_in=args.fan_in
+    )
+    report = validate_fabric(fabric, require_full_reachability=args.hosts <= 4)
+    quirk = validate_fabric(
+        fabric,
+        require_full_reachability=args.hosts <= 4,
+        enforce_intel_quirk=True,
+    )
+    print(f"fabric: {fabric.name}")
+    print(f"  disks={len(fabric.disks)} hubs={len(fabric.hubs)} "
+          f"switches={len(fabric.switches)} ports={len(fabric.host_ports)}")
+    print(f"  valid: {report.ok}")
+    for error in report.errors:
+        print(f"  ERROR: {error}")
+    for warning in quirk.warnings:
+        print(f"  note: {warning}")
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UStore (ICDCS 2015) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(fn=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment")
+    run_parser.set_defaults(fn=_cmd_run)
+
+    sub.add_parser("cost", help="print Table I").set_defaults(fn=_cmd_cost)
+
+    validate_parser = sub.add_parser("validate", help="validate a ring fabric design")
+    validate_parser.add_argument("--hosts", type=int, default=4)
+    validate_parser.add_argument("--disks-per-leaf", type=int, default=2)
+    validate_parser.add_argument("--fan-in", type=int, default=4)
+    validate_parser.set_defaults(fn=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

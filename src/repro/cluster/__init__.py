@@ -1,0 +1,48 @@
+"""UStore management stack: Master, Controller, EndPoint, ClientLib."""
+
+from repro.cluster.clientlib import ClientLib, MountedSpace, StorageUnavailableError
+from repro.cluster.controller import CommandFailed, Controller, ControllerConfig
+from repro.cluster.deployment import Deployment, DeploymentConfig, build_deployment
+from repro.cluster.endpoint import EndPoint, EndPointConfig
+from repro.cluster.master import AllocationError, Master, MasterConfig
+from repro.cluster.metadata import DiskStatus, HostStatus, SpaceRecord, SysConf, SysStat
+from repro.cluster.multiunit import (
+    DeployUnit,
+    MultiUnitDeployment,
+    build_multi_unit_deployment,
+)
+from repro.cluster.namespace import (
+    format_space_id,
+    parse_space_id,
+    space_znode_path,
+    target_name,
+)
+
+__all__ = [
+    "AllocationError",
+    "ClientLib",
+    "CommandFailed",
+    "Controller",
+    "ControllerConfig",
+    "DeployUnit",
+    "Deployment",
+    "DeploymentConfig",
+    "DiskStatus",
+    "MultiUnitDeployment",
+    "build_multi_unit_deployment",
+    "EndPoint",
+    "EndPointConfig",
+    "HostStatus",
+    "Master",
+    "MasterConfig",
+    "MountedSpace",
+    "SpaceRecord",
+    "StorageUnavailableError",
+    "SysConf",
+    "SysStat",
+    "build_deployment",
+    "format_space_id",
+    "parse_space_id",
+    "space_znode_path",
+    "target_name",
+]

@@ -1,0 +1,288 @@
+"""The UStore EndPoint: one per host connected to a deploy unit (§IV-B).
+
+Responsibilities, per the paper:
+
+* monitor the host's status and send heartbeats (host health, visible
+  disks, workload) to the Master;
+* maintain liveness via an ephemeral znode in the coordination service;
+* report the locally observed USB tree so the Controller can assemble
+  its view of the interconnect fabric;
+* expose allocated storage spaces to the network as iSCSI targets;
+* run the default power policy: spin an idle disk down after a
+  configurable interval, and back that interval off for disks that
+  thrash (§IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.cluster.metadata import SpaceRecord
+from repro.cluster.namespace import target_name
+from repro.coord.client import CoordSession
+from repro.disk.device import SimulatedDisk
+from repro.disk.states import DiskPowerState
+from repro.net.iscsi import IscsiTargetServer, StorageVolume
+from repro.net.network import Network
+from repro.net.rpc import RemoteError, RpcClient, RpcTimeout
+from repro.sim import Event, Simulator
+from repro.usbsim.bus import UsbBus
+
+__all__ = ["EndPoint", "EndPointConfig"]
+
+HOSTS_ROOT = "/ustore/hosts"
+MASTER_POINTER = "/ustore/master"
+
+
+@dataclass(frozen=True)
+class EndPointConfig:
+    heartbeat_interval: float = 0.5
+    # §IV-F default power policy.
+    spin_down_idle_seconds: float = 300.0
+    power_policy_enabled: bool = False
+    # Adaptive backoff: if a disk spins up more than ``thrash_limit``
+    # times within ``thrash_window`` seconds, double its idle timeout.
+    thrash_limit: int = 3
+    thrash_window: float = 3600.0
+
+
+class EndPoint:
+    """Host-side agent: heartbeats, USB monitoring, target exposure."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host_id: str,
+        address: str,
+        bus: UsbBus,
+        disks: Dict[str, SimulatedDisk],
+        coord_servers: List[str],
+        config: EndPointConfig = EndPointConfig(),
+    ):
+        self.sim = sim
+        self.network = network
+        self.host_id = host_id
+        self.address = address
+        self.bus = bus
+        self.disks = disks
+        self.config = config
+        self.alive = True
+
+        self.targets = IscsiTargetServer(sim, network, address)
+        self.rpc_client = RpcClient(sim, network, f"{address}.client")
+        self.coord = CoordSession(sim, network, f"{address}.coord", coord_servers)
+        self._master_address: Optional[str] = None
+        self._exposed: Dict[str, SpaceRecord] = {}  # target name -> record
+        self.expose_log: List[tuple] = []  # (time, target name)
+        self._idle_timeout: Dict[str, float] = {}
+        self._spin_up_times: Dict[str, List[float]] = {}
+        self.heartbeats_sent = 0
+
+        self.targets.rpc.register("endpoint.expose", self._on_expose)
+        self.targets.rpc.register("endpoint.withdraw", self._on_withdraw)
+        self.targets.rpc.register("endpoint.usb_view", self._on_usb_view)
+        self.targets.rpc.register("endpoint.set_disk_power", self._on_set_disk_power)
+        self.targets.rpc.register("endpoint.exposed_targets", self._on_exposed_targets)
+        bus.register_listener(host_id, self)
+
+        sim.process(self._startup())
+        sim.process(self._heartbeat_loop())
+        if config.power_policy_enabled:
+            sim.process(self._power_policy_loop())
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Take the host down (network-wise); its disks become orphans."""
+        self.alive = False
+        self.network.set_alive(self.address, False)
+        self.network.set_alive(f"{self.address}.client", False)
+        self.network.set_alive(f"{self.address}.coord", False)
+
+    def recover(self) -> None:
+        self.alive = True
+        self.network.set_alive(self.address, True)
+        self.network.set_alive(f"{self.address}.client", True)
+        self.network.set_alive(f"{self.address}.coord", True)
+        self._master_address = None
+        if self.coord.expired:
+            # The cluster expired our session while we were dark; a real
+            # host would reconnect with a fresh ZooKeeper session.  The
+            # old coord node address is reused, so retire it first.
+            self.network.set_alive(f"{self.address}.coord", False)
+            self._coord_generation = getattr(self, "_coord_generation", 0) + 1
+            self.coord = CoordSession(
+                self.sim,
+                self.network,
+                f"{self.address}.coord{self._coord_generation}",
+                self.coord.servers,
+            )
+            self.sim.process(self._startup())
+
+    def _startup(self) -> Generator[Event, None, None]:
+        yield from self.coord.start()
+        for path in ("/ustore", HOSTS_ROOT):
+            try:
+                yield from self.coord.create(path)
+            except RemoteError:
+                pass  # someone else created it first
+        try:
+            yield from self.coord.create(
+                f"{HOSTS_ROOT}/{self.host_id}", data=self.address, ephemeral=True
+            )
+        except RemoteError:
+            pass
+
+    # -- hot-plug listener ----------------------------------------------------
+
+    def on_attach(self, disk_id: str) -> None:
+        """A disk appeared: nothing to expose until the Master says so."""
+
+    def on_detach(self, disk_id: str) -> None:
+        """A disk vanished: withdraw its targets so sessions fail fast."""
+        stale = [t for t, rec in self._exposed.items() if rec.disk_id == disk_id]
+        for target in stale:
+            self.targets.withdraw(target)
+            del self._exposed[target]
+
+    # -- heartbeats ------------------------------------------------------------
+
+    def _disk_report(self) -> Dict[str, str]:
+        report = {}
+        for disk_id in self.bus.os_view(self.host_id):
+            disk = self.disks.get(disk_id)
+            if disk is None:
+                continue
+            if disk.failed:
+                state = "failed"
+            elif disk.power_state is DiskPowerState.SPUN_DOWN:
+                state = "spun_down"
+            elif disk.power_state is DiskPowerState.POWERED_OFF:
+                state = "powered_off"
+            else:
+                state = "online"
+            report[disk_id] = state
+        return report
+
+    def _heartbeat_loop(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.sim.timeout(self.config.heartbeat_interval)
+            if not self.alive:
+                continue
+            master = yield from self._discover_master()
+            if master is None:
+                continue
+            payload = {
+                "host_id": self.host_id,
+                "address": self.address,
+                "disks": self._disk_report(),
+                "exposed": len(self._exposed),
+            }
+            try:
+                yield from self.rpc_client.call(
+                    master, "master.heartbeat", payload, timeout=1.0
+                )
+                self.heartbeats_sent += 1
+            except (RpcTimeout, RemoteError):
+                self._master_address = None  # re-discover next round
+
+    def _discover_master(self) -> Generator[Event, None, Optional[str]]:
+        if self._master_address is not None:
+            return self._master_address
+        try:
+            exists = yield from self.coord.exists(MASTER_POINTER)
+            if exists:
+                self._master_address = yield from self.coord.get_data(MASTER_POINTER)
+        except (RpcTimeout, RemoteError):
+            return None
+        return self._master_address
+
+    # -- RPC handlers ---------------------------------------------------------
+
+    def _on_expose(self, record_dict: dict) -> str:
+        record = SpaceRecord.from_dict(record_dict)
+        if record.disk_id not in self.bus.os_view(self.host_id):
+            raise RuntimeError(f"{self.host_id} does not see {record.disk_id}")
+        name = target_name(record.space_id)
+        if name not in self.targets.exposed_targets():
+            volume = StorageVolume(
+                volume_id=record.space_id,
+                disk=self.disks[record.disk_id],
+                offset=record.offset,
+                length=record.length,
+            )
+            self.targets.expose(name, volume)
+            self.expose_log.append((self.sim.now, name))
+        self._exposed[name] = record
+        return name
+
+    def _on_withdraw(self, space_id: str) -> bool:
+        name = target_name(space_id)
+        self.targets.withdraw(name)
+        return self._exposed.pop(name, None) is not None
+
+    def _on_usb_view(self) -> List[str]:
+        return sorted(self.bus.os_view(self.host_id))
+
+    def _on_exposed_targets(self) -> List[str]:
+        return sorted(self._exposed)
+
+    def _on_set_disk_power(self, disk_id: str, action: str):
+        """Disk power interface for upper-layer services (§IV-F)."""
+        disk = self.disks.get(disk_id)
+        if disk is None or disk_id not in self.bus.os_view(self.host_id):
+            raise RuntimeError(f"{self.host_id} does not control {disk_id}")
+        if action == "spin_down":
+            disk.spin_down()
+            return True
+        if action == "spin_up":
+            def wait() -> Generator[Event, None, bool]:
+                yield disk.spin_up()
+                self._record_spin_up(disk_id)
+                return True
+
+            return wait()
+        raise ValueError(f"unknown power action {action!r}")
+
+    # -- default power policy (§IV-F) -----------------------------------------
+
+    def _record_spin_up(self, disk_id: str) -> None:
+        window = self._spin_up_times.setdefault(disk_id, [])
+        window.append(self.sim.now)
+        cutoff = self.sim.now - self.config.thrash_window
+        window[:] = [t for t in window if t >= cutoff]
+        if len(window) > self.config.thrash_limit:
+            current = self._idle_timeout.get(
+                disk_id, self.config.spin_down_idle_seconds
+            )
+            self._idle_timeout[disk_id] = current * 2
+
+    def idle_timeout_of(self, disk_id: str) -> float:
+        return self._idle_timeout.get(disk_id, self.config.spin_down_idle_seconds)
+
+    def _power_policy_loop(self) -> Generator[Event, None, None]:
+        check = max(1.0, self.config.spin_down_idle_seconds / 10)
+        while True:
+            yield self.sim.timeout(check)
+            if not self.alive:
+                continue
+            for disk_id in self.bus.os_view(self.host_id):
+                disk = self.disks.get(disk_id)
+                if disk is None or disk.power_state is not DiskPowerState.IDLE:
+                    continue
+                if self.sim.now - disk.idle_since >= self.idle_timeout_of(disk_id):
+                    was_spun_up = disk.states.spin_up_count
+                    disk.spin_down()
+                    # Track wake-ups triggered by later I/O for adaptivity.
+                    self._watch_for_thrash(disk_id, was_spun_up)
+
+    def _watch_for_thrash(self, disk_id: str, spin_up_count: int) -> None:
+        disk = self.disks[disk_id]
+
+        def check() -> None:
+            if disk.states.spin_up_count > spin_up_count:
+                self._record_spin_up(disk_id)
+
+        self.sim.call_in(self.config.spin_down_idle_seconds / 2, check)

@@ -1,0 +1,570 @@
+"""The UStore Master (§IV-A): centralized control and scheduling.
+
+Master candidates run in active-standby mode, elected through the
+coordination service (ephemeral sequential znodes, as the prototype
+does with ZooKeeper, §V-B).  The active master:
+
+* maintains SysConf (static), SysStat (in-memory, rebuilt by
+  interrogating the hosts) and StorAlloc (persisted synchronously in
+  the coordination namespace);
+* allocates storage spaces, applying the paper's two placement rules —
+  same-service disk affinity and client locality;
+* monitors host heartbeats and, on an extended silence, declares the
+  host crashed and moves its disks to healthy hosts through the
+  Controller, re-exposing the affected targets (§IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cluster.metadata import DiskStatus, HostStatus, SpaceRecord, SysConf, SysStat
+from repro.cluster.namespace import (
+    STORALLOC_ROOT,
+    format_space_id,
+    parse_space_id,
+    space_znode_path,
+    target_name,
+)
+from repro.coord.client import CoordSession
+from repro.net.network import Network
+from repro.net.rpc import RemoteError, RpcClient, RpcServer, RpcTimeout
+from repro.sim import Event, Simulator
+
+__all__ = ["AllocationError", "Master", "MasterConfig"]
+
+ELECTION_ROOT = "/ustore/master-election"
+MASTER_POINTER = "/ustore/master"
+
+
+class AllocationError(Exception):
+    """No disk satisfies an allocation request."""
+
+
+@dataclass(frozen=True)
+class MasterConfig:
+    # Hosts are suspected after this much heartbeat silence, §IV-E.
+    heartbeat_timeout: float = 2.0
+    failure_check_interval: float = 0.5
+    election_poll_interval: float = 1.0
+    default_disk_capacity: int = 3 * 10**12
+
+
+class Master:
+    """One master candidate; becomes active if it wins the election."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        coord_servers: List[str],
+        sysconf: SysConf,
+        disk_capacities: Optional[Dict[str, int]] = None,
+        config: MasterConfig = MasterConfig(),
+    ):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.sysconf = sysconf
+        self.config = config
+        self.disk_capacities = disk_capacities or {}
+        self.sysstat = SysStat()
+        self.records: Dict[str, SpaceRecord] = {}  # space_id -> record
+        self._space_counters: Dict[str, int] = {}  # disk -> next index
+        self.active = False
+        self.alive = True
+        self.failovers_completed = 0
+
+        self.coord = CoordSession(sim, network, f"{address}.coord", coord_servers)
+        self.rpc = RpcServer(sim, network, address)
+        self.rpc_client = RpcClient(sim, network, f"{address}.client")
+        self.rpc.register("master.heartbeat", self._on_heartbeat)
+        self.rpc.register("master.allocate", self._on_allocate)
+        self.rpc.register("master.lookup", self._on_lookup)
+        self.rpc.register("master.release", self._on_release)
+        self.rpc.register("master.set_disk_power", self._on_set_disk_power)
+        self.rpc.register("master.status", self._on_status)
+        self.rpc.register("master.migrate_disk", self._on_migrate_disk)
+        self.rpc.register("master.migrate_batch", self._on_migrate_batch)
+        sim.process(self._candidate_loop())
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def crash(self) -> None:
+        self.alive = False
+        self.active = False
+        self.network.set_alive(self.address, False)
+        self.network.set_alive(f"{self.address}.client", False)
+        self.network.set_alive(f"{self.address}.coord", False)
+
+    # -- election ----------------------------------------------------------------
+
+    def _candidate_loop(self) -> Generator[Event, None, None]:
+        yield from self.coord.start()
+        for path in ("/ustore", ELECTION_ROOT, STORALLOC_ROOT):
+            try:
+                yield from self.coord.create(path)
+            except RemoteError:
+                pass
+        my_node = yield from self.coord.create(
+            f"{ELECTION_ROOT}/c-", data=self.address, ephemeral=True, sequential=True
+        )
+        my_name = my_node.rsplit("/", 1)[-1]
+        while self.alive:
+            try:
+                children = yield from self.coord.get_children(ELECTION_ROOT)
+            except (RpcTimeout, RemoteError):
+                yield self.sim.timeout(self.config.election_poll_interval)
+                continue
+            if children and min(children) == my_name:
+                if not self.active:
+                    yield from self._activate()
+            yield self.sim.timeout(self.config.election_poll_interval)
+
+    def _activate(self) -> Generator[Event, None, None]:
+        # Publish the active master's address.
+        try:
+            exists = yield from self.coord.exists(MASTER_POINTER)
+            if exists:
+                yield from self.coord.set_data(MASTER_POINTER, self.address)
+            else:
+                yield from self.coord.create(MASTER_POINTER, data=self.address)
+        except (RpcTimeout, RemoteError):
+            return
+        # Load StorAlloc from the coordination namespace.
+        yield from self._load_records()
+        # Rebuild SysStat by interrogating every host (§IV-A: SysStat is
+        # memory-only and reconstructible).
+        yield from self._interrogate_hosts()
+        self.active = True
+        self.sim.process(self._failure_detector())
+
+    def _load_records(self) -> Generator[Event, None, None]:
+        self.records.clear()
+        self._space_counters.clear()
+        try:
+            children = yield from self.coord.get_children(STORALLOC_ROOT)
+        except (RpcTimeout, RemoteError):
+            return
+        for child in children:
+            try:
+                data = yield from self.coord.get_data(f"{STORALLOC_ROOT}/{child}")
+            except (RpcTimeout, RemoteError):
+                continue
+            record = SpaceRecord.from_dict(data)
+            self.records[record.space_id] = record
+            _, _, index = parse_space_id(record.space_id)
+            current = self._space_counters.get(record.disk_id, 0)
+            self._space_counters[record.disk_id] = max(current, index + 1)
+
+    def _interrogate_hosts(self) -> Generator[Event, None, None]:
+        for host_id, address in self.sysconf.host_addresses.items():
+            try:
+                view = yield from self.rpc_client.call(
+                    address, "endpoint.usb_view", timeout=1.0
+                )
+            except (RpcTimeout, RemoteError):
+                self.sysstat.host_status[host_id] = HostStatus.SUSPECTED
+                continue
+            self.sysstat.host_status[host_id] = HostStatus.ONLINE
+            self.sysstat.last_heartbeat[host_id] = self.sim.now
+            for disk_id in view:
+                self.sysstat.disk_to_host[disk_id] = host_id
+                self.sysstat.disk_status[disk_id] = DiskStatus.ONLINE
+
+    # -- RPC handlers ---------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise RuntimeError(f"master {self.address} is standby")
+
+    def _on_heartbeat(self, payload: dict) -> bool:
+        self._require_active()
+        host_id = payload["host_id"]
+        self.sysstat.last_heartbeat[host_id] = self.sim.now
+        self.sysstat.host_status[host_id] = HostStatus.ONLINE
+        self.sysstat.host_load[host_id] = payload.get("exposed", 0)
+        for disk_id, state in payload.get("disks", {}).items():
+            self.sysstat.disk_to_host[disk_id] = host_id
+            self.sysstat.disk_status[disk_id] = DiskStatus(state)
+        return True
+
+    def _capacity_of(self, disk_id: str) -> int:
+        return self.disk_capacities.get(disk_id, self.config.default_disk_capacity)
+
+    def _allocated_on(self, disk_id: str) -> int:
+        return sum(r.length for r in self.records.values() if r.disk_id == disk_id)
+
+    def _next_offset(self, disk_id: str) -> int:
+        end = 0
+        for record in self.records.values():
+            if record.disk_id == disk_id:
+                end = max(end, record.offset + record.length)
+        return end
+
+    def _score_disk(self, disk_id: str, service: str, locality_hint: Optional[str]) -> tuple:
+        """Smaller tuples are better: (affinity, locality, usage)."""
+        services_on_disk = {
+            r.service for r in self.records.values() if r.disk_id == disk_id
+        }
+        if not services_on_disk:
+            affinity = 1  # empty disk: fine
+        elif services_on_disk == {service}:
+            affinity = 0  # paper rule 1: same-service disk preferred
+        else:
+            affinity = 2  # mixing services hinders power management
+        host = self.sysstat.disk_to_host.get(disk_id)
+        locality = 0 if (locality_hint and host == locality_hint) else 1
+        return (affinity, locality, self._allocated_on(disk_id))
+
+    def _on_allocate(
+        self,
+        length: int,
+        service: str,
+        locality_hint: Optional[str] = None,
+        exclude_disks: Optional[List[str]] = None,
+    ) -> dict:
+        self._require_active()
+        if length <= 0:
+            raise AllocationError(f"invalid length {length}")
+        excluded = set(exclude_disks or ())
+        candidates = []
+        for disk_id, host in self.sysstat.disk_to_host.items():
+            if host is None or disk_id in excluded:
+                continue
+            if self.sysstat.host_status.get(host) is not HostStatus.ONLINE:
+                continue
+            if self.sysstat.disk_status.get(disk_id) is DiskStatus.FAILED:
+                continue
+            if self._next_offset(disk_id) + length > self._capacity_of(disk_id):
+                continue
+            candidates.append(disk_id)
+        if not candidates:
+            raise AllocationError("no disk with sufficient free space is online")
+        best = min(
+            candidates, key=lambda d: self._score_disk(d, service, locality_hint)
+        )
+        unit = self.sysconf.unit_of_disk(best) or "unit0"
+        index = self._space_counters.get(best, 0)
+        self._space_counters[best] = index + 1
+        space_id = format_space_id(unit, best, index)
+        record = SpaceRecord(
+            space_id=space_id,
+            unit_id=unit,
+            disk_id=best,
+            offset=self._next_offset(best),
+            length=length,
+            service=service,
+        )
+
+        def commit() -> Generator[Event, None, dict]:
+            # StorAlloc is persisted synchronously before the reply (§IV-A).
+            yield from self.coord.create(space_znode_path(space_id), record.as_dict())
+            self.records[space_id] = record
+            host_id = self.sysstat.disk_to_host[best]
+            address = self.sysconf.host_addresses[host_id]
+            yield from self.rpc_client.call(
+                address, "endpoint.expose", record.as_dict(), timeout=2.0
+            )
+            return {
+                "space_id": space_id,
+                "host_id": host_id,
+                "address": address,
+                "target": target_name(space_id),
+            }
+
+        return commit()
+
+    def _on_lookup(self, space_id: str) -> dict:
+        self._require_active()
+        record = self.records.get(space_id)
+        if record is None:
+            raise KeyError(f"unknown space {space_id!r}")
+        host_id = self.sysstat.disk_to_host.get(record.disk_id)
+        if host_id is None:
+            raise RuntimeError(f"disk {record.disk_id!r} is not attached anywhere")
+        return {
+            "space_id": space_id,
+            "host_id": host_id,
+            "address": self.sysconf.host_addresses[host_id],
+            "target": target_name(space_id),
+        }
+
+    def _on_release(self, space_id: str):
+        self._require_active()
+        record = self.records.pop(space_id, None)
+        if record is None:
+            return False
+
+        def commit() -> Generator[Event, None, bool]:
+            try:
+                yield from self.coord.delete(space_znode_path(space_id))
+            except RemoteError:
+                pass
+            host_id = self.sysstat.disk_to_host.get(record.disk_id)
+            if host_id is not None:
+                address = self.sysconf.host_addresses[host_id]
+                try:
+                    yield from self.rpc_client.call(
+                        address, "endpoint.withdraw", space_id, timeout=2.0
+                    )
+                except (RpcTimeout, RemoteError):
+                    pass
+            return True
+
+        return commit()
+
+    def _on_set_disk_power(self, space_id: str, action: str, service: str):
+        """§IV-F: services control the power of disks they own."""
+        self._require_active()
+        record = self.records.get(space_id)
+        if record is None:
+            raise KeyError(f"unknown space {space_id!r}")
+        if record.service != service:
+            raise PermissionError(
+                f"space {space_id!r} belongs to {record.service!r}, not {service!r}"
+            )
+        owners = {
+            r.service for r in self.records.values() if r.disk_id == record.disk_id
+        }
+        if owners != {service}:
+            raise PermissionError(
+                f"disk {record.disk_id!r} is shared by {sorted(owners)}; "
+                "power control requires exclusive ownership"
+            )
+        host_id = self.sysstat.disk_to_host.get(record.disk_id)
+        if host_id is None:
+            raise RuntimeError(f"disk {record.disk_id!r} is detached")
+        address = self.sysconf.host_addresses[host_id]
+
+        def forward() -> Generator[Event, None, Any]:
+            result = yield from self.rpc_client.call(
+                address,
+                "endpoint.set_disk_power",
+                record.disk_id,
+                action,
+                timeout=30.0,
+            )
+            return result
+
+        return forward()
+
+    def _on_migrate_disk(self, disk_id: str, target_host: str):
+        """Explicit topology scheduling (§IV-C): move one disk, keeping
+        its exposed targets reachable at the new host."""
+        self._require_active()
+        unit = self.sysconf.unit_of_disk(disk_id)
+        if unit is None:
+            raise KeyError(f"unknown disk {disk_id!r}")
+        if target_host not in self.sysconf.host_addresses:
+            raise KeyError(f"unknown host {target_host!r}")
+        controllers = self._controller_addresses(unit)
+
+        def run() -> Generator[Event, None, dict]:
+            watcher = self.sim.process(self._re_expose({disk_id: target_host}))
+            last_error: Optional[Exception] = None
+            for controller in controllers:
+                try:
+                    result = yield from self.rpc_client.call(
+                        controller,
+                        "controller.execute",
+                        [(disk_id, target_host)],
+                        timeout=40.0,
+                    )
+                    break
+                except (RpcTimeout, RemoteError) as exc:
+                    last_error = exc
+            else:
+                if watcher.is_alive:
+                    watcher.interrupt("command failed")
+                watcher.defuse()
+                raise last_error or RuntimeError("no controller reachable")
+            yield watcher
+            return {"disk_id": disk_id, "host": target_host, "turned": result["turned"]}
+
+        return run()
+
+    def _on_migrate_batch(self, pairs: List):
+        """Batch topology command: several disks switched as one turn
+        set and one enumeration batch (how Figure 6 switches N disks)."""
+        self._require_active()
+        pairs = [tuple(p) for p in pairs]
+        if not pairs:
+            raise ValueError("empty migration batch")
+        unit = self.sysconf.unit_of_disk(pairs[0][0])
+        if unit is None:
+            raise KeyError(f"unknown disk {pairs[0][0]!r}")
+        controllers = self._controller_addresses(unit)
+
+        def run() -> Generator[Event, None, dict]:
+            # Watchers re-expose each disk the moment it appears on its
+            # new host, concurrently with the switch command.
+            watcher = self.sim.process(self._re_expose({d: h for d, h in pairs}))
+            last_error: Optional[Exception] = None
+            for controller in controllers:
+                try:
+                    result = yield from self.rpc_client.call(
+                        controller, "controller.execute", pairs, timeout=60.0
+                    )
+                    break
+                except (RpcTimeout, RemoteError) as exc:
+                    last_error = exc
+            else:
+                if watcher.is_alive:
+                    watcher.interrupt("command failed")
+                watcher.defuse()
+                raise last_error or RuntimeError("no controller reachable")
+            yield watcher
+            return {"moved": len(pairs), "turned": result["turned"]}
+
+        return run()
+
+    def _on_status(self) -> dict:
+        self._require_active()
+        return {
+            "hosts": {h: s.value for h, s in self.sysstat.host_status.items()},
+            "disk_to_host": dict(self.sysstat.disk_to_host),
+            "spaces": len(self.records),
+        }
+
+    # -- failure detection and failover (§IV-E) ---------------------------------
+
+    def _failure_detector(self) -> Generator[Event, None, None]:
+        while self.alive and self.active:
+            yield self.sim.timeout(self.config.failure_check_interval)
+            now = self.sim.now
+            for host_id in list(self.sysconf.host_addresses):
+                status = self.sysstat.host_status.get(host_id)
+                last = self.sysstat.last_heartbeat.get(host_id)
+                if status is not HostStatus.ONLINE or last is None:
+                    continue
+                if now - last > self.config.heartbeat_timeout:
+                    self.sysstat.host_status[host_id] = HostStatus.CRASHED
+                    self.sim.process(self._fail_over_host(host_id))
+
+    def _controller_addresses(self, unit: str) -> List[str]:
+        return list(self.sysconf.controller_hosts.get(unit, []))
+
+    def _fail_over_host(self, dead_host: str) -> Generator[Event, None, None]:
+        unit = self.sysconf.unit_of_host(dead_host)
+        if unit is None:
+            return
+        orphans = self.sysstat.disks_on_host(dead_host)
+        if not orphans:
+            return
+        controllers = self._controller_addresses(unit)
+        load: Dict[str, int] = {
+            h: len(self.sysstat.disks_on_host(h))
+            for h in self.sysstat.online_hosts()
+            if h != dead_host
+        }
+        moved: Dict[str, str] = {}
+        for controller in controllers:
+            try:
+                moved = yield from self._fail_over_via(
+                    controller, orphans, dict(load)
+                )
+                if moved:
+                    break
+            except (RpcTimeout, RemoteError):
+                continue  # primary controller unreachable: try the backup
+        yield from self._re_expose(moved)
+        if moved:
+            self.failovers_completed += 1
+
+    def _fail_over_via(
+        self, controller: str, orphans: List[str], load: Dict[str, int]
+    ) -> Generator[Event, None, Dict[str, str]]:
+        """Move ``orphans`` using one Controller; returns disk -> new host.
+
+        Strategy: first try a single batched command that sends every
+        orphan to one host (the fast path behind the paper's ~5.8 s
+        recovery — one switch turn set, one enumeration batch).  If the
+        batch conflicts, fall back to per-disk greedy placement, trying
+        each disk's reachable hosts from least- to most-loaded and
+        skipping targets that Algorithm 1 reports as conflicting.
+        """
+        moved: Dict[str, str] = {}
+        # Hosts every orphan can reach.
+        common: Optional[set] = None
+        reachable_of: Dict[str, List[str]] = {}
+        for disk_id in orphans:
+            reachable = yield from self.rpc_client.call(
+                controller, "controller.reachable_hosts", disk_id, timeout=2.0
+            )
+            options = [h for h in reachable if h in load]
+            reachable_of[disk_id] = options
+            common = set(options) if common is None else (common & set(options))
+        for target in sorted(common or (), key=lambda h: (load[h], h)):
+            try:
+                yield from self.rpc_client.call(
+                    controller,
+                    "controller.execute",
+                    [(d, target) for d in orphans],
+                    timeout=40.0,
+                )
+            except RemoteError:
+                continue  # conflict: try another absorber or fall back
+            for disk_id in orphans:
+                moved[disk_id] = target
+            return moved
+        # Fall back: place disks one at a time.
+        for disk_id in orphans:
+            for target in sorted(reachable_of[disk_id], key=lambda h: (load[h], h)):
+                try:
+                    yield from self.rpc_client.call(
+                        controller, "controller.execute", [(disk_id, target)], timeout=40.0
+                    )
+                except RemoteError:
+                    continue
+                moved[disk_id] = target
+                load[target] += 1
+                break
+        return moved
+
+    def _re_expose(self, moved: Dict[str, str]) -> Generator[Event, None, None]:
+        """Re-expose every space living on a moved disk at its new home.
+
+        Runs one watcher per disk, concurrently: each exposes the disk's
+        targets the moment the new host's USB view reports the disk —
+        so in a batched switch the first disks come back on the network
+        while the later ones are still enumerating (what a udev-driven
+        EndPoint does on real hardware, and why the paper's Figure 6
+        part-2 delay does not grow with the batch size).
+        """
+        watchers = [
+            self.sim.process(self._expose_when_visible(disk_id, new_host))
+            for disk_id, new_host in moved.items()
+        ]
+        if watchers:
+            yield self.sim.all_of(watchers)
+
+    def _expose_when_visible(
+        self, disk_id: str, new_host: str, deadline_seconds: float = 60.0
+    ) -> Generator[Event, None, None]:
+        address = self.sysconf.host_addresses[new_host]
+        deadline = self.sim.now + deadline_seconds
+        while self.sim.now < deadline:
+            try:
+                view = yield from self.rpc_client.call(
+                    address, "endpoint.usb_view", timeout=1.0
+                )
+            except (RpcTimeout, RemoteError):
+                view = []
+            if disk_id in view:
+                break
+            yield self.sim.timeout(0.2)
+        else:
+            return
+        self.sysstat.disk_to_host[disk_id] = new_host
+        for record in self.records.values():
+            if record.disk_id != disk_id:
+                continue
+            try:
+                yield from self.rpc_client.call(
+                    address, "endpoint.expose", record.as_dict(), timeout=5.0
+                )
+            except (RpcTimeout, RemoteError):
+                pass

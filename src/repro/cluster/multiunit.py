@@ -1,0 +1,220 @@
+"""Multi-unit deployments: one Master, several deploy units (§IV).
+
+"A typical UStore deployment is composed of one Master and a number of
+deploy units, each of which is connected to multiple hosts" — this
+module scales the single-unit builder up: each unit gets its own
+fabric, USB buses, control plane and Controller pair, while the
+coordination cluster and the master candidates are shared.  The Master
+allocates across all units (its placement rules and failover logic are
+unit-aware through SysConf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.clientlib import ClientLib
+from repro.cluster.controller import Controller
+from repro.cluster.deployment import DeploymentConfig
+from repro.cluster.endpoint import EndPoint
+from repro.cluster.master import Master
+from repro.cluster.metadata import SysConf
+from repro.coord import CoordReplica, build_cluster
+from repro.disk.device import SimulatedDisk
+from repro.disk.specs import ConnectionType
+from repro.fabric.builders import ring_fabric
+from repro.fabric.topology import Fabric
+from repro.hardware.microcontroller import ControlPlane
+from repro.hardware.relays import RelayBank
+from repro.net.network import Network
+from repro.sim import RngRegistry, Simulator
+from repro.usbsim.bus import UsbBus
+
+__all__ = ["DeployUnit", "MultiUnitDeployment", "build_multi_unit_deployment"]
+
+
+@dataclass
+class DeployUnit:
+    """Everything physical to one deploy unit."""
+
+    unit_id: str
+    fabric: Fabric
+    disks: Dict[str, SimulatedDisk]
+    bus: UsbBus
+    control_plane: ControlPlane
+    relays: RelayBank
+    endpoints: Dict[str, EndPoint]
+    controllers: List[Controller]
+
+
+@dataclass
+class MultiUnitDeployment:
+    """One Master domain spanning several deploy units."""
+
+    sim: Simulator
+    rng: RngRegistry
+    network: Network
+    coord_replicas: List[CoordReplica]
+    sysconf: SysConf
+    masters: List[Master]
+    units: Dict[str, DeployUnit]
+    config: DeploymentConfig
+    clients: List[ClientLib] = field(default_factory=list)
+
+    @property
+    def coord_servers(self) -> List[str]:
+        return [r.address for r in self.coord_replicas]
+
+    def active_master(self) -> Optional[Master]:
+        for master in self.masters:
+            if master.active and master.alive:
+                return master
+        return None
+
+    def all_disks(self) -> Dict[str, SimulatedDisk]:
+        merged: Dict[str, SimulatedDisk] = {}
+        for unit in self.units.values():
+            merged.update(unit.disks)
+        return merged
+
+    def unit_of_host(self, host_id: str) -> DeployUnit:
+        unit_id = self.sysconf.unit_of_host(host_id)
+        if unit_id is None:
+            raise KeyError(f"unknown host {host_id!r}")
+        return self.units[unit_id]
+
+    def unit_of_disk(self, disk_id: str) -> DeployUnit:
+        unit_id = self.sysconf.unit_of_disk(disk_id)
+        if unit_id is None:
+            raise KeyError(f"unknown disk {disk_id!r}")
+        return self.units[unit_id]
+
+    def new_client(self, name: str, service: str = "default", **kwargs) -> ClientLib:
+        client = ClientLib(
+            self.sim, self.network, name, self.coord_servers, service=service, **kwargs
+        )
+        self.clients.append(client)
+        return client
+
+    def settle(self, duration: float = 12.0) -> None:
+        self.sim.run(until=self.sim.now + duration)
+
+    def crash_host(self, host_id: str) -> None:
+        self.unit_of_host(host_id).endpoints[host_id].crash()
+
+    def recover_host(self, host_id: str) -> None:
+        self.unit_of_host(host_id).endpoints[host_id].recover()
+
+
+def build_multi_unit_deployment(
+    num_units: int = 2,
+    config: DeploymentConfig = DeploymentConfig(),
+    hosts_per_unit: int = 4,
+    disks_per_leaf: int = 2,
+) -> MultiUnitDeployment:
+    """Assemble ``num_units`` prototype-style units under one Master."""
+    if num_units < 1:
+        raise ValueError("need at least one deploy unit")
+    sim = Simulator()
+    rng = RngRegistry(config.seed)
+    network = Network(sim, rng=rng)
+    coord_replicas = build_cluster(
+        sim, network, size=config.num_coord_replicas, rng=rng, config=config.coord
+    )
+    coord_servers = [r.address for r in coord_replicas]
+
+    sysconf = SysConf()
+    units: Dict[str, DeployUnit] = {}
+    all_capacities: Dict[str, int] = {}
+    for index in range(num_units):
+        unit_id = f"unit{index}"
+        prefix = f"{unit_id}."
+        fabric = ring_fabric(
+            num_hosts=hosts_per_unit, disks_per_leaf=disks_per_leaf, prefix=prefix
+        )
+        disks = {
+            node.node_id: SimulatedDisk(
+                sim, node.node_id, connection=ConnectionType.HUB_AND_SWITCH
+            )
+            for node in fabric.disks
+        }
+        bus = UsbBus(
+            sim, fabric, rng=rng, timing=config.usb_timing, quirks=config.usb_quirks
+        )
+        control_plane = ControlPlane(fabric)
+        relays = RelayBank(sim, disks, bus=bus)
+        hosts = fabric.hosts()
+        host_addresses = {h: f"{h}.endpoint" for h in hosts}
+        controller_addresses = [f"{unit_id}.controller0", f"{unit_id}.controller1"]
+
+        sysconf.deploy_units.append(unit_id)
+        sysconf.hosts_of_unit[unit_id] = list(hosts)
+        sysconf.disks_of_unit[unit_id] = sorted(disks)
+        sysconf.host_addresses.update(host_addresses)
+        sysconf.controller_hosts[unit_id] = controller_addresses
+
+        endpoints = {
+            host: EndPoint(
+                sim,
+                network,
+                host,
+                host_addresses[host],
+                bus,
+                disks,
+                coord_servers,
+                config=config.endpoint,
+            )
+            for host in hosts
+        }
+        controllers = [
+            Controller(
+                sim,
+                network,
+                controller_addresses[i],
+                fabric,
+                bus,
+                control_plane,
+                host_addresses,
+                is_primary=(i == 0),
+                config=config.controller,
+            )
+            for i in range(2)
+        ]
+        for disk_id, disk in disks.items():
+            all_capacities[disk_id] = disk.spec.capacity_bytes
+        bus.sync()
+        units[unit_id] = DeployUnit(
+            unit_id=unit_id,
+            fabric=fabric,
+            disks=disks,
+            bus=bus,
+            control_plane=control_plane,
+            relays=relays,
+            endpoints=endpoints,
+            controllers=controllers,
+        )
+
+    sysconf.validate()
+    masters = [
+        Master(
+            sim,
+            network,
+            f"master{i}",
+            coord_servers,
+            sysconf,
+            disk_capacities=all_capacities,
+            config=config.master,
+        )
+        for i in range(config.num_masters)
+    ]
+    return MultiUnitDeployment(
+        sim=sim,
+        rng=rng,
+        network=network,
+        coord_replicas=coord_replicas,
+        sysconf=sysconf,
+        masters=masters,
+        units=units,
+        config=config,
+    )

@@ -1,0 +1,40 @@
+"""Coordination service: a quorum-replicated mini-ZooKeeper."""
+
+from repro.coord.client import CoordSession, SessionExpiredError
+from repro.coord.service import CoordConfig, CoordReplica, LogEntry, NotLeaderError, Role
+from repro.coord.znode import (
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    Znode,
+    ZnodeError,
+    ZnodeTree,
+)
+
+__all__ = [
+    "CoordConfig",
+    "CoordReplica",
+    "CoordSession",
+    "LogEntry",
+    "NodeExistsError",
+    "NoNodeError",
+    "NotEmptyError",
+    "NotLeaderError",
+    "Role",
+    "SessionExpiredError",
+    "Znode",
+    "ZnodeError",
+    "ZnodeTree",
+]
+
+
+def build_cluster(sim, network, size=3, rng=None, config=None, prefix="coord"):
+    """Convenience: spin up a replica cluster and return the replicas."""
+    from repro.coord.service import CoordConfig as _Config
+
+    addresses = [f"{prefix}{i}" for i in range(size)]
+    config = config or _Config()
+    return [
+        CoordReplica(sim, network, address, addresses, rng=rng, config=config)
+        for address in addresses
+    ]

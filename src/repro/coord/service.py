@@ -1,0 +1,529 @@
+"""Quorum-replicated coordination service (the Master's ZooKeeper).
+
+The paper's Master is "a replicated state machine using the Paxos
+consensus protocol", implemented in the prototype on ZooKeeper with
+active-standby master processes (§IV-A, §V-B).  This module provides
+that substrate: a small cluster of replicas running a leader-based
+atomic broadcast (elections with epochs and log-completeness voting,
+quorum-acknowledged commits — ZAB/Raft style) over the simulated
+network, applying committed operations to a :class:`ZnodeTree`.
+
+Simplifications relative to a production system, chosen deliberately
+and documented here: log compaction/snapshots are omitted (runs are
+finite), reads are served by the leader from applied state, and client
+watches live on the leader with clients re-registering after failover
+(as ZooKeeper clients do on reconnect).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.net.network import Network
+from repro.net.rpc import RpcServer
+from repro.sim import Event, Simulator
+from repro.sim.rng import RngRegistry
+from repro.coord.znode import ZnodeError, ZnodeTree
+
+__all__ = ["CoordConfig", "CoordReplica", "LogEntry", "NotLeaderError", "Role"]
+
+
+class NotLeaderError(Exception):
+    """Raised to clients that contact a non-leader replica."""
+
+    def __init__(self, hint: Optional[str]):
+        super().__init__(f"NotLeader:{hint or '?'}")
+        self.hint = hint
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    epoch: int
+    index: int
+    op: Tuple  # ("create", path, data, ephemeral_owner, sequential) etc.
+
+
+@dataclass(frozen=True)
+class CoordConfig:
+    election_timeout_min: float = 0.50
+    election_timeout_max: float = 1.00
+    heartbeat_interval: float = 0.10
+    session_timeout: float = 2.00
+    session_check_interval: float = 0.25
+
+
+class CoordReplica:
+    """One replica of the coordination cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        peers: List[str],
+        rng: Optional[RngRegistry] = None,
+        config: CoordConfig = CoordConfig(),
+    ):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.peers = [p for p in peers if p != address]
+        self.cluster_size = len(self.peers) + 1
+        self.config = config
+        self._rng = (rng or RngRegistry(0)).stream(f"coord:{address}")
+
+        # Persistent state (would be on disk in a real system).
+        self.current_epoch = 0
+        self.voted_for: Optional[str] = None
+        self.log: List[LogEntry] = []
+
+        # Volatile state.
+        self.role = Role.FOLLOWER
+        self.leader_hint: Optional[str] = None
+        self.commit_index = 0  # 1-based count of committed entries
+        self.applied_index = 0
+        self.tree = ZnodeTree()
+        self.crashed = False
+
+        # Leader-only state.
+        self._next_index: Dict[str, int] = {}
+        self._match_index: Dict[str, int] = {}
+        self._pending_results: Dict[int, Event] = {}  # log index -> client waiter
+        self._sessions_last_seen: Dict[str, float] = {}
+        self._session_timeouts: Dict[str, float] = {}
+        # Watches: path -> list of (watcher_address, watch_kind)
+        self._watches: Dict[str, List[Tuple[str, str]]] = {}
+
+        self._election_deadline = 0.0
+        self.rpc = RpcServer(sim, network, address)
+        self.rpc.register("coord.request_vote", self._on_request_vote)
+        self.rpc.register("coord.append_entries", self._on_append_entries)
+        self.rpc.register("coord.client_op", self._on_client_op)
+        self.rpc.register("coord.ping_session", self._on_ping_session)
+        self.rpc.register("coord.read", self._on_read)
+        self.rpc.register("coord.watch", self._on_watch)
+        self._bump_election_deadline()
+        sim.process(self._election_timer())
+        sim.process(self._session_expirer())
+
+    # ------------------------------------------------------------------
+    # crash/recover control (used by fault injection)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        self.crashed = True
+        self.network.set_alive(self.address, False)
+        if self.role is Role.LEADER:
+            self.role = Role.FOLLOWER
+
+    def recover(self) -> None:
+        """Restart the replica; volatile state resets, the log survives."""
+        self.crashed = False
+        self.network.set_alive(self.address, True)
+        self.role = Role.FOLLOWER
+        self.leader_hint = None
+        self._pending_results.clear()
+        self._bump_election_deadline()
+
+    # ------------------------------------------------------------------
+    # elections
+    # ------------------------------------------------------------------
+
+    def _bump_election_deadline(self) -> None:
+        self._election_deadline = self.sim.now + self._rng.uniform(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+
+    def _election_timer(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.sim.timeout(0.05)
+            if self.crashed or self.role is Role.LEADER:
+                continue
+            if self.sim.now >= self._election_deadline:
+                self.sim.process(self._run_election())
+                self._bump_election_deadline()
+
+    def _last_log_position(self) -> Tuple[int, int]:
+        if not self.log:
+            return (0, 0)
+        last = self.log[-1]
+        return (last.epoch, last.index)
+
+    def _run_election(self) -> Generator[Event, None, None]:
+        self.role = Role.CANDIDATE
+        self.current_epoch += 1
+        epoch = self.current_epoch
+        self.voted_for = self.address
+        votes = 1
+        last_epoch, last_index = self._last_log_position()
+        from repro.net.rpc import RpcClient  # local import to avoid cycle at module load
+
+        client = _replica_client(self)
+        pending = [
+            self.sim.process(
+                _safe_call(
+                    client,
+                    peer,
+                    "coord.request_vote",
+                    epoch,
+                    self.address,
+                    last_epoch,
+                    last_index,
+                    timeout=self.config.election_timeout_min / 2,
+                )
+            )
+            for peer in self.peers
+        ]
+        for proc in pending:
+            reply = yield proc
+            if self.crashed or self.current_epoch != epoch or self.role is not Role.CANDIDATE:
+                return
+            if reply is None:
+                continue
+            granted, peer_epoch = reply
+            if peer_epoch > self.current_epoch:
+                self._step_down(peer_epoch)
+                return
+            if granted:
+                votes += 1
+            if votes > self.cluster_size // 2:
+                self._become_leader()
+                return
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_hint = self.address
+        last_index = len(self.log)
+        self._next_index = {peer: last_index for peer in self.peers}
+        self._match_index = {peer: 0 for peer in self.peers}
+        # Fresh leader: give every known session a grace period.
+        for session_id in self._sessions_last_seen:
+            self._sessions_last_seen[session_id] = self.sim.now
+        # Commit a no-op of the new epoch so entries inherited from prior
+        # epochs become committable (the Raft "leader completeness" rule:
+        # a leader only counts replicas for entries of its own epoch).
+        self.log.append(LogEntry(self.current_epoch, len(self.log) + 1, ("noop",)))
+        self.sim.process(self._heartbeat_loop(self.current_epoch))
+
+    def _step_down(self, new_epoch: int) -> None:
+        self.current_epoch = max(self.current_epoch, new_epoch)
+        self.role = Role.FOLLOWER
+        self.voted_for = None
+        for waiter in self._pending_results.values():
+            if not waiter.triggered:
+                waiter.fail(NotLeaderError(self.leader_hint))
+                waiter.defuse()
+        self._pending_results.clear()
+        self._bump_election_deadline()
+
+    # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+
+    def _heartbeat_loop(self, epoch: int) -> Generator[Event, None, None]:
+        while (
+            not self.crashed
+            and self.role is Role.LEADER
+            and self.current_epoch == epoch
+        ):
+            for peer in self.peers:
+                self.sim.process(self._replicate_to(peer, epoch))
+            yield self.sim.timeout(self.config.heartbeat_interval)
+
+    def _replicate_to(self, peer: str, epoch: int) -> Generator[Event, None, None]:
+        if self.crashed or self.role is not Role.LEADER or self.current_epoch != epoch:
+            return
+        next_index = self._next_index.get(peer, len(self.log))
+        prev_epoch = self.log[next_index - 1].epoch if next_index > 0 else 0
+        entries = self.log[next_index:]
+        client = _replica_client(self)
+        reply = yield self.sim.process(
+            _safe_call(
+                client,
+                peer,
+                "coord.append_entries",
+                epoch,
+                self.address,
+                next_index,
+                prev_epoch,
+                [(e.epoch, e.index, e.op) for e in entries],
+                self.commit_index,
+                timeout=self.config.heartbeat_interval * 2,
+            )
+        )
+        if reply is None or self.crashed or self.role is not Role.LEADER:
+            return
+        success, peer_epoch, peer_match = reply
+        if peer_epoch > self.current_epoch:
+            self._step_down(peer_epoch)
+            return
+        if success:
+            self._match_index[peer] = peer_match
+            self._next_index[peer] = peer_match
+            self._advance_commit()
+        else:
+            self._next_index[peer] = max(0, next_index - 1)
+
+    def _advance_commit(self) -> None:
+        for candidate in range(len(self.log), self.commit_index, -1):
+            if self.log[candidate - 1].epoch != self.current_epoch:
+                continue
+            acked = 1 + sum(
+                1 for peer in self.peers if self._match_index.get(peer, 0) >= candidate
+            )
+            if acked > self.cluster_size // 2:
+                self.commit_index = candidate
+                break
+        self._apply_committed()
+
+    def _apply_committed(self) -> None:
+        while self.applied_index < self.commit_index:
+            entry = self.log[self.applied_index]
+            self.applied_index += 1
+            try:
+                result: Any = self._apply(entry.op)
+                ok = True
+            except ZnodeError as exc:
+                result = exc
+                ok = False
+            waiter = self._pending_results.pop(entry.index, None)
+            if waiter is not None and not waiter.triggered:
+                if ok:
+                    waiter.succeed(result)
+                else:
+                    waiter.fail(result)
+
+    def _apply(self, op: Tuple) -> Any:
+        kind = op[0]
+        if kind == "noop":
+            return None
+        if kind == "create":
+            _, path, data, ephemeral_owner, sequential = op
+            actual = self.tree.create(path, data, ephemeral_owner, sequential)
+            self._fire_watches(actual, "created")
+            return actual
+        if kind == "set":
+            _, path, data = op
+            version = self.tree.set_data(path, data)
+            self._fire_watches(path, "changed")
+            return version
+        if kind == "delete":
+            _, path = op
+            self.tree.delete(path, recursive=True)
+            self._fire_watches(path, "deleted")
+            return True
+        if kind == "create_session":
+            _, session_id, timeout = op
+            self._session_timeouts[session_id] = timeout
+            self._sessions_last_seen.setdefault(session_id, self.sim.now)
+            return session_id
+        if kind == "expire_session":
+            _, session_id = op
+            removed = self.tree.delete_ephemerals_of(session_id)
+            self._sessions_last_seen.pop(session_id, None)
+            self._session_timeouts.pop(session_id, None)
+            for path in removed:
+                self._fire_watches(path, "deleted")
+            return removed
+        raise ZnodeError(f"unknown op {kind!r}")
+
+    # ------------------------------------------------------------------
+    # watches (leader-local)
+    # ------------------------------------------------------------------
+
+    def _fire_watches(self, path: str, event_type: str) -> None:
+        if self.role is not Role.LEADER:
+            return
+        parent = path.rsplit("/", 1)[0] or "/"
+        notified: List[Tuple[str, str, str]] = []
+        for watched, kind in ((path, "node"), (parent, "children")):
+            waiters = self._watches.pop(watched, None)
+            if not waiters:
+                continue
+            keep = []
+            for watcher_address, watch_kind in waiters:
+                if watch_kind != kind:
+                    keep.append((watcher_address, watch_kind))
+                    continue
+                notified.append((watcher_address, watched, event_type))
+            if keep:
+                self._watches[watched] = keep
+        for watcher_address, watched, etype in notified:
+            self.network.send(
+                self.address,
+                watcher_address,
+                {"kind": "watch_event", "path": watched, "type": etype},
+            )
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+
+    def _on_request_vote(
+        self, epoch: int, candidate: str, last_epoch: int, last_index: int
+    ):
+        if self.crashed:
+            raise ZnodeError("crashed")
+        if epoch > self.current_epoch:
+            self._step_down(epoch)
+        granted = False
+        my_last = self._last_log_position()
+        log_ok = (last_epoch, last_index) >= my_last
+        if (
+            epoch == self.current_epoch
+            and log_ok
+            and self.voted_for in (None, candidate)
+            and self.role is not Role.LEADER
+        ):
+            granted = True
+            self.voted_for = candidate
+            self._bump_election_deadline()
+        return (granted, self.current_epoch)
+
+    def _on_append_entries(
+        self,
+        epoch: int,
+        leader: str,
+        start_index: int,
+        prev_epoch: int,
+        entries: list,
+        leader_commit: int,
+    ):
+        if self.crashed:
+            raise ZnodeError("crashed")
+        if epoch < self.current_epoch:
+            return (False, self.current_epoch, len(self.log))
+        if epoch > self.current_epoch or self.role is not Role.FOLLOWER:
+            self._step_down(epoch)
+        self.leader_hint = leader
+        self._bump_election_deadline()
+        # Consistency check on the entry preceding start_index.
+        if start_index > len(self.log):
+            return (False, self.current_epoch, len(self.log))
+        if start_index > 0 and self.log[start_index - 1].epoch != prev_epoch:
+            del self.log[start_index - 1 :]
+            return (False, self.current_epoch, len(self.log))
+        del self.log[start_index:]
+        for e_epoch, e_index, e_op in entries:
+            self.log.append(LogEntry(e_epoch, e_index, e_op))
+        if leader_commit > self.commit_index:
+            self.commit_index = min(leader_commit, len(self.log))
+            self._apply_committed()
+        return (True, self.current_epoch, len(self.log))
+
+    def _on_client_op(self, op: list):
+        """Propose an operation; generator resolves when committed."""
+        if self.crashed:
+            raise ZnodeError("crashed")
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.leader_hint)
+        entry = LogEntry(self.current_epoch, len(self.log) + 1, tuple(op))
+        self.log.append(entry)
+        waiter = self.sim.event()
+        self._pending_results[entry.index] = waiter
+        epoch = self.current_epoch
+        for peer in self.peers:
+            self.sim.process(self._replicate_to(peer, epoch))
+
+        def wait() -> Generator[Event, None, Any]:
+            result = yield waiter
+            return result
+
+        return wait()
+
+    def _on_ping_session(self, session_id: str):
+        if self.crashed:
+            raise ZnodeError("crashed")
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.leader_hint)
+        if session_id not in self._session_timeouts:
+            raise ZnodeError(f"unknown session {session_id!r}")
+        self._sessions_last_seen[session_id] = self.sim.now
+        return True
+
+    def _on_read(self, what: str, path: str):
+        if self.crashed:
+            raise ZnodeError("crashed")
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.leader_hint)
+        if what == "get":
+            return self.tree.get_data(path)
+        if what == "exists":
+            return self.tree.exists(path)
+        if what == "children":
+            return self.tree.get_children(path)
+        raise ZnodeError(f"unknown read {what!r}")
+
+    def _on_watch(self, watcher_address: str, path: str, kind: str):
+        if self.crashed:
+            raise ZnodeError("crashed")
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.leader_hint)
+        if kind not in ("node", "children"):
+            raise ZnodeError(f"unknown watch kind {kind!r}")
+        self._watches.setdefault(path, []).append((watcher_address, kind))
+        return True
+
+    # ------------------------------------------------------------------
+    # session expiry
+    # ------------------------------------------------------------------
+
+    def _session_expirer(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.sim.timeout(self.config.session_check_interval)
+            if self.crashed or self.role is not Role.LEADER:
+                continue
+            now = self.sim.now
+            expired = [
+                sid
+                for sid, last in self._sessions_last_seen.items()
+                if now - last > self._session_timeouts.get(sid, self.config.session_timeout)
+            ]
+            for session_id in expired:
+                self._sessions_last_seen.pop(session_id, None)
+                generator = self._on_client_op(["expire_session", session_id])
+                proc = self.sim.process(generator)
+                proc.defuse()
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+_CLIENTS: Dict[str, Any] = {}
+
+
+def _replica_client(replica: CoordReplica):
+    """One shared RpcClient per replica (lazy, avoids inbox contention)."""
+    from repro.net.rpc import RpcClient
+
+    key = replica.address
+    client = _CLIENTS.get(key)
+    if client is None or client.sim is not replica.sim:
+        client = RpcClient(replica.sim, replica.network, f"{key}.peerclient")
+        _CLIENTS[key] = client
+    return client
+
+
+def _safe_call(client, target: str, method: str, *args, timeout: float):
+    """RPC call that yields None instead of raising on failure."""
+    from repro.net.rpc import RemoteError, RpcTimeout
+
+    def run() -> Generator[Event, None, Any]:
+        try:
+            result = yield client.sim.process(
+                client.call(target, method, *args, timeout=timeout)
+            )
+            return result
+        except (RpcTimeout, RemoteError):
+            return None
+
+    return run()

@@ -1,0 +1,177 @@
+"""The znode tree: the replicated state machine's data model.
+
+A simplified ZooKeeper namespace (§V-B says the prototype's Master
+stores its metadata in ZooKeeper as a hierarchical tree): absolute
+slash-separated paths, per-node data and version, *ephemeral* nodes
+owned by a session, and *sequential* nodes that append a monotonically
+increasing counter to their name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Znode", "ZnodeError", "ZnodeTree", "NoNodeError", "NodeExistsError", "NotEmptyError"]
+
+
+class ZnodeError(Exception):
+    """Base class for namespace errors."""
+
+
+class NoNodeError(ZnodeError):
+    pass
+
+
+class NodeExistsError(ZnodeError):
+    pass
+
+
+class NotEmptyError(ZnodeError):
+    pass
+
+
+@dataclass
+class Znode:
+    path: str
+    data: Any = None
+    version: int = 0
+    ephemeral_owner: Optional[str] = None  # session id or None
+    children: Dict[str, "Znode"] = field(default_factory=dict)
+    sequence_counter: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def is_ephemeral(self) -> bool:
+        return self.ephemeral_owner is not None
+
+
+def _validate_path(path: str) -> None:
+    if not path.startswith("/"):
+        raise ZnodeError(f"paths must be absolute, got {path!r}")
+    if path != "/" and path.endswith("/"):
+        raise ZnodeError(f"trailing slash in {path!r}")
+    if "//" in path:
+        raise ZnodeError(f"empty path component in {path!r}")
+
+
+class ZnodeTree:
+    """Deterministic in-memory namespace; all mutations are idempotent
+    enough to be replayed from a log."""
+
+    def __init__(self):
+        self.root = Znode(path="/")
+
+    # -- lookup ------------------------------------------------------------
+
+    def _walk(self, path: str) -> Optional[Znode]:
+        _validate_path(path)
+        if path == "/":
+            return self.root
+        node = self.root
+        for part in path.strip("/").split("/"):
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def get(self, path: str) -> Znode:
+        node = self._walk(path)
+        if node is None:
+            raise NoNodeError(path)
+        return node
+
+    def exists(self, path: str) -> bool:
+        return self._walk(path) is not None
+
+    def get_data(self, path: str) -> Any:
+        return self.get(path).data
+
+    def get_children(self, path: str) -> List[str]:
+        return sorted(self.get(path).children)
+
+    # -- mutation -----------------------------------------------------------
+
+    def create(
+        self,
+        path: str,
+        data: Any = None,
+        ephemeral_owner: Optional[str] = None,
+        sequential: bool = False,
+    ) -> str:
+        """Create a node; returns the actual path (matters for sequential)."""
+        _validate_path(path)
+        if path == "/":
+            raise NodeExistsError("/")
+        parent_path, _, name = path.rpartition("/")
+        parent = self._walk(parent_path or "/")
+        if parent is None:
+            raise NoNodeError(parent_path or "/")
+        if parent.is_ephemeral:
+            raise ZnodeError(f"ephemeral node {parent.path!r} cannot have children")
+        if sequential:
+            name = f"{name}{parent.sequence_counter:010d}"
+            parent.sequence_counter += 1
+        if name in parent.children:
+            raise NodeExistsError(path)
+        actual_path = (parent.path.rstrip("/") + "/" + name) if parent.path != "/" else "/" + name
+        parent.children[name] = Znode(path=actual_path, data=data, ephemeral_owner=ephemeral_owner)
+        return actual_path
+
+    def set_data(self, path: str, data: Any, expected_version: Optional[int] = None) -> int:
+        node = self.get(path)
+        if expected_version is not None and node.version != expected_version:
+            raise ZnodeError(
+                f"version mismatch on {path!r}: have {node.version}, expected {expected_version}"
+            )
+        node.data = data
+        node.version += 1
+        return node.version
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        if path == "/":
+            raise ZnodeError("cannot delete the root")
+        node = self.get(path)
+        if node.children and not recursive:
+            raise NotEmptyError(path)
+        parent_path, _, name = path.rpartition("/")
+        parent = self.get(parent_path or "/")
+        del parent.children[name]
+
+    # -- ephemerals ---------------------------------------------------------
+
+    def ephemeral_paths_of(self, session_id: str) -> List[str]:
+        found: List[str] = []
+
+        def walk(node: Znode) -> None:
+            for child in node.children.values():
+                if child.ephemeral_owner == session_id:
+                    found.append(child.path)
+                walk(child)
+
+        walk(self.root)
+        return sorted(found)
+
+    def delete_ephemerals_of(self, session_id: str) -> List[str]:
+        paths = self.ephemeral_paths_of(session_id)
+        for path in paths:
+            if self.exists(path):
+                self.delete(path, recursive=True)
+        return paths
+
+    # -- snapshot helpers ---------------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """Flat path -> data mapping (tests and debugging)."""
+        out: Dict[str, Any] = {}
+
+        def walk(node: Znode) -> None:
+            out[node.path] = node.data
+            for child in node.children.values():
+                walk(child)
+
+        walk(self.root)
+        return out

@@ -1,0 +1,32 @@
+"""Cost models: BOMs and the Table I system comparison."""
+
+from repro.cost.bom import BillOfMaterials, LineItem, RETAIL_MARKUP
+from repro.cost.compare import cost_table, render_cost_table, ustore_savings_vs_backblaze
+from repro.cost.physical import UnitSpec, unit_spec
+from repro.cost.systems import (
+    CostEstimate,
+    TARGET_CAPACITY_BYTES,
+    backblaze_estimate,
+    md3260i_estimate,
+    pergamum_estimate,
+    sl150_estimate,
+    ustore_estimate,
+)
+
+__all__ = [
+    "BillOfMaterials",
+    "CostEstimate",
+    "LineItem",
+    "RETAIL_MARKUP",
+    "TARGET_CAPACITY_BYTES",
+    "UnitSpec",
+    "backblaze_estimate",
+    "cost_table",
+    "md3260i_estimate",
+    "pergamum_estimate",
+    "render_cost_table",
+    "sl150_estimate",
+    "unit_spec",
+    "ustore_estimate",
+    "ustore_savings_vs_backblaze",
+]

@@ -1,0 +1,60 @@
+"""Bill-of-materials arithmetic for the cost comparison (§VI).
+
+The paper estimates street prices by multiplying BOM (component) cost
+by 2 [29]; :class:`BillOfMaterials` items can opt into that markup
+individually, so commodity finished goods (disks, enclosures) are
+costed at street price while bare ICs get the markup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["BillOfMaterials", "LineItem", "RETAIL_MARKUP"]
+
+#: §VI: "We multiply bill of materials (BOM) cost by 2 to estimate the
+#: cost of the interconnect fabric."
+RETAIL_MARKUP = 2.0
+
+
+@dataclass(frozen=True)
+class LineItem:
+    name: str
+    unit_cost: float
+    quantity: float
+    markup: bool = False  # apply RETAIL_MARKUP (bare components)
+
+    def total(self) -> float:
+        cost = self.unit_cost * self.quantity
+        return cost * RETAIL_MARKUP if self.markup else cost
+
+
+@dataclass
+class BillOfMaterials:
+    title: str
+    items: List[LineItem] = field(default_factory=list)
+
+    def add(self, name: str, unit_cost: float, quantity: float, markup: bool = False) -> "BillOfMaterials":
+        if unit_cost < 0 or quantity < 0:
+            raise ValueError(f"negative cost/quantity for {name!r}")
+        self.items.append(LineItem(name, unit_cost, quantity, markup))
+        return self
+
+    def total(self) -> float:
+        return sum(item.total() for item in self.items)
+
+    def subtotal(self, *names: str) -> float:
+        wanted = set(names)
+        return sum(item.total() for item in self.items if item.name in wanted)
+
+    def render(self) -> str:
+        lines = [f"BOM: {self.title}"]
+        for item in self.items:
+            marked = " (x2 markup)" if item.markup else ""
+            lines.append(
+                f"  {item.name:<28} {item.quantity:>9.1f} x ${item.unit_cost:>8.2f}"
+                f" = ${item.total():>12,.2f}{marked}"
+            )
+        lines.append(f"  {'TOTAL':<28} {'':>22} ${self.total():>12,.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Table I assembly and the paper's headline cost claims (§VI)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cost.systems import (
+    CostEstimate,
+    backblaze_estimate,
+    md3260i_estimate,
+    pergamum_estimate,
+    sl150_estimate,
+    ustore_estimate,
+)
+
+__all__ = ["cost_table", "render_cost_table", "ustore_savings_vs_backblaze"]
+
+
+def cost_table() -> List[CostEstimate]:
+    """The five rows of Table I, in the paper's order."""
+    return [
+        md3260i_estimate(),
+        sl150_estimate(),
+        pergamum_estimate(),
+        backblaze_estimate(),
+        ustore_estimate(),
+    ]
+
+
+def render_cost_table() -> str:
+    """Human-readable Table I (thousands of dollars, 10 PB raw)."""
+    lines = [
+        f"{'System':<26} {'Media':<14} {'CapEx':>10} {'AttEx':>10}",
+        "-" * 64,
+    ]
+    for row in cost_table():
+        attex = "-" if row.attex is None else f"${row.attex_thousands:,.0f}"
+        lines.append(
+            f"{row.system:<26} {row.media:<14} "
+            f"${row.capex_thousands:>8,.0f} {attex:>10}"
+        )
+    return "\n".join(lines)
+
+
+def ustore_savings_vs_backblaze() -> dict:
+    """§VI: UStore is ~24% cheaper in CapEx and ~55% in AttEx."""
+    ustore = ustore_estimate()
+    backblaze = backblaze_estimate()
+    return {
+        "capex_saving": 1.0 - ustore.capex / backblaze.capex,
+        "attex_saving": 1.0 - ustore.attex / backblaze.attex,
+    }

@@ -1,0 +1,239 @@
+"""A simulated hard disk serving I/O in the discrete-event world.
+
+:class:`SimulatedDisk` combines the analytic service-time model with a
+power-state machine and a FIFO command queue (queue depth 1 at the
+media, as in the prototype's Iometer runs).  It also keeps per-state
+residency times so the power-accounting layer can integrate energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.disk.model import DiskModel
+from repro.disk.specs import (
+    ConnectionType,
+    DiskPowerProfile,
+    DiskSpec,
+    DT01ACA300,
+    TOSHIBA_POWER_SATA,
+    TOSHIBA_POWER_USB,
+)
+from repro.disk.states import DiskPowerState, DiskStateError, SpinStateMachine
+from repro.sim import Event, Resource, Simulator
+from repro.workload.specs import AccessPattern, WorkloadSpec
+
+__all__ = ["DiskBusyError", "DiskOfflineError", "IoRequest", "SimulatedDisk"]
+
+
+class DiskOfflineError(Exception):
+    """I/O issued to a powered-off or failed disk."""
+
+
+class DiskBusyError(Exception):
+    """Raised when an exclusive operation overlaps another."""
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """One block I/O against a disk."""
+
+    offset: int
+    size: int
+    is_read: bool
+    sequential_hint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size <= 0:
+            raise ValueError(f"invalid I/O geometry offset={self.offset} size={self.size}")
+
+
+class SimulatedDisk:
+    """One disk: service model + spin states + command queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        disk_id: str,
+        spec: DiskSpec = DT01ACA300,
+        connection: ConnectionType = ConnectionType.HUB_AND_SWITCH,
+        initial_state: DiskPowerState = DiskPowerState.IDLE,
+    ):
+        self.sim = sim
+        self.disk_id = disk_id
+        self.spec = spec
+        self.connection = connection
+        self.model = DiskModel(disk=spec, connection=connection)
+        self.states = SpinStateMachine(initial_state)
+        self.failed = False
+        self._queue = Resource(sim, capacity=1)
+        self._last_io_end = 0.0
+        self._last_offset_end: Optional[int] = None
+        self._last_is_read: Optional[bool] = None
+        self.completed_ios = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        # Per-state residency bookkeeping for energy accounting.
+        self._state_entered = sim.now
+        self._residency: Dict[DiskPowerState, float] = {s: 0.0 for s in DiskPowerState}
+
+    # -- power-state handling --------------------------------------------
+
+    @property
+    def power_state(self) -> DiskPowerState:
+        return self.states.state
+
+    def _enter_state(self, new_state: DiskPowerState) -> None:
+        self._residency[self.states.state] += self.sim.now - self._state_entered
+        self.states.transition(new_state)
+        self._state_entered = self.sim.now
+
+    def residency(self, state: DiskPowerState) -> float:
+        """Total time spent in ``state`` so far (including current)."""
+        total = self._residency[state]
+        if self.states.state is state:
+            total += self.sim.now - self._state_entered
+        return total
+
+    def power_draw(self, profile: DiskPowerProfile) -> float:
+        """Instantaneous watts for a given power profile."""
+        state = self.states.state
+        if state is DiskPowerState.POWERED_OFF:
+            return 0.0
+        if state is DiskPowerState.SPUN_DOWN:
+            return profile.spun_down
+        if state is DiskPowerState.ACTIVE:
+            return profile.active
+        if state is DiskPowerState.SPINNING_UP:
+            # Spin-up draws peak current; model as active draw.
+            return profile.active
+        return profile.idle
+
+    def default_power_profile(self) -> DiskPowerProfile:
+        if self.connection is ConnectionType.SATA:
+            return TOSHIBA_POWER_SATA
+        return TOSHIBA_POWER_USB
+
+    def energy_joules(self, profile: Optional[DiskPowerProfile] = None) -> float:
+        """Energy integrated over state residencies so far."""
+        prof = profile or self.default_power_profile()
+        watts = {
+            DiskPowerState.POWERED_OFF: 0.0,
+            DiskPowerState.SPUN_DOWN: prof.spun_down,
+            DiskPowerState.SPINNING_UP: prof.active,
+            DiskPowerState.IDLE: prof.idle,
+            DiskPowerState.ACTIVE: prof.active,
+        }
+        return sum(self.residency(state) * watts[state] for state in DiskPowerState)
+
+    def spin_down(self) -> None:
+        if self.states.state is DiskPowerState.IDLE:
+            self._enter_state(DiskPowerState.SPUN_DOWN)
+
+    def power_off(self) -> None:
+        if self.states.state in (DiskPowerState.IDLE, DiskPowerState.SPUN_DOWN):
+            self._enter_state(DiskPowerState.POWERED_OFF)
+
+    def power_on(self) -> None:
+        if self.states.state is DiskPowerState.POWERED_OFF:
+            self._enter_state(DiskPowerState.SPUN_DOWN)
+
+    def spin_up(self) -> Event:
+        """Begin spinning up; the returned event fires when ready."""
+        if self.states.state is DiskPowerState.POWERED_OFF:
+            raise DiskStateError("power the disk on before spinning up")
+        done = self.sim.event()
+        if self.states.is_spinning:
+            done.succeed()
+            return done
+        if self.states.state is DiskPowerState.SPINNING_UP:
+            raise DiskBusyError("spin-up already in progress")
+        self._enter_state(DiskPowerState.SPINNING_UP)
+
+        def finish() -> None:
+            self._enter_state(DiskPowerState.IDLE)
+            done.succeed()
+
+        self.sim.call_in(self.spec.spin_up_time, finish)
+        return done
+
+    # -- failure ----------------------------------------------------------
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def repair(self) -> None:
+        self.failed = False
+
+    # -- I/O ----------------------------------------------------------------
+
+    def _spec_for(self, request: IoRequest) -> WorkloadSpec:
+        sequential = request.sequential_hint and (
+            self._last_offset_end is None or request.offset == self._last_offset_end
+        )
+        return WorkloadSpec(
+            transfer_size=request.size,
+            pattern=AccessPattern.SEQUENTIAL if sequential else AccessPattern.RANDOM,
+            read_fraction=1.0 if request.is_read else 0.0,
+        )
+
+    def submit(self, request: IoRequest) -> "Event":
+        """Submit one I/O; returns a process event with the service time."""
+        return self.sim.process(self._serve(request))
+
+    def _serve(self, request: IoRequest) -> Generator[Event, None, float]:
+        if self.failed:
+            raise DiskOfflineError(f"{self.disk_id}: disk failed")
+        if self.states.state is DiskPowerState.POWERED_OFF:
+            raise DiskOfflineError(f"{self.disk_id}: disk powered off")
+        yield self._queue.request()
+        try:
+            if self.failed:
+                raise DiskOfflineError(f"{self.disk_id}: disk failed")
+            if not self.states.is_spinning:
+                if self.states.state is DiskPowerState.SPUN_DOWN:
+                    yield self.spin_up()
+                else:  # SPINNING_UP from someone else's wake-up
+                    while not self.states.is_spinning:
+                        yield self.sim.timeout(0.05)
+            spec = self._spec_for(request)
+            was_idle = self.states.state is DiskPowerState.IDLE
+            if was_idle:
+                self._enter_state(DiskPowerState.ACTIVE)
+            service = self.model.service_time(spec)
+            # Direction turnaround: charge the calibrated mixed-workload
+            # penalty whenever consecutive commands change direction, so
+            # alternating read/write streams reproduce the Table II
+            # 50%-mix columns.
+            if self._last_is_read is not None and self._last_is_read != request.is_read:
+                profile = self.model.profile
+                if spec.is_sequential:
+                    service += (
+                        profile.mix_fixed
+                        + profile.mix_transfer_factor
+                        * (request.size / self.spec.media_rate)
+                    )
+                else:
+                    service += profile.rand_mix_fixed
+            self._last_is_read = request.is_read
+            yield self.sim.timeout(service)
+            if self.failed:
+                raise DiskOfflineError(f"{self.disk_id}: disk failed mid-transfer")
+            self._last_offset_end = request.offset + request.size
+            self._last_io_end = self.sim.now
+            self.completed_ios += 1
+            if request.is_read:
+                self.bytes_read += request.size
+            else:
+                self.bytes_written += request.size
+            if self.states.state is DiskPowerState.ACTIVE:
+                self._enter_state(DiskPowerState.IDLE)
+            return service
+        finally:
+            self._queue.release()
+
+    @property
+    def idle_since(self) -> float:
+        """Simulated time of the last I/O completion."""
+        return self._last_io_end

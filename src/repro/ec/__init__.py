@@ -1,0 +1,6 @@
+"""Reed-Solomon erasure coding and the striped store overlay."""
+
+from repro.ec.reedsolomon import DecodeError, RSCode
+from repro.ec.store import StripedObject, StripedStore
+
+__all__ = ["DecodeError", "RSCode", "StripedObject", "StripedStore"]

@@ -1,0 +1,67 @@
+"""GF(2^8) arithmetic for Reed-Solomon coding.
+
+The field is built over the AES-style primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11d) with generator 2; multiplication
+uses log/antilog tables, addition is XOR.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["add", "div", "exp", "inv", "log", "mul"]
+
+_PRIMITIVE_POLY = 0x11D
+
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def add(a: int, b: int) -> int:
+    """Addition (and subtraction) in GF(2^8) is XOR."""
+    return a ^ b
+
+
+def mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(2^8)")
+    return _EXP[255 - _LOG[a]]
+
+
+def div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % 255]
+
+
+def exp(power: int) -> int:
+    return _EXP[power % 255]
+
+
+def log(a: int) -> int:
+    if a == 0:
+        raise ValueError("log(0) undefined")
+    return _LOG[a]

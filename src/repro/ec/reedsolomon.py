@@ -1,0 +1,146 @@
+"""Systematic Reed-Solomon erasure coding over GF(2^8).
+
+``RSCode(k, m)`` splits data into ``k`` shards and computes ``m``
+parity shards such that *any* ``k`` of the ``k+m`` shards reconstruct
+the original data.  Parity rows come from a Cauchy matrix, whose every
+square submatrix is invertible, so combined with the identity rows any
+``k``-row selection of the generator matrix is invertible — the
+property erasure decoding relies on.
+
+This is the real algorithm (byte-exact encode/decode), not a model:
+upper-layer services like Azure-style EC (cited by the paper, §VIII)
+can run on UStore unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.ec import gf256 as gf
+
+__all__ = ["DecodeError", "RSCode"]
+
+
+class DecodeError(Exception):
+    """Not enough shards, or inconsistent shard sizes."""
+
+
+def _cauchy_parity_matrix(k: int, m: int) -> List[List[int]]:
+    """m x k Cauchy matrix with x_i = i, y_j = m + j (all distinct)."""
+    return [
+        [gf.inv(gf.add(i, m + j)) for j in range(k)]
+        for i in range(m)
+    ]
+
+
+def _mat_mul_vec(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> List[int]:
+    out = []
+    for row in matrix:
+        acc = 0
+        for coeff, value in zip(row, vector):
+            acc = gf.add(acc, gf.mul(coeff, value))
+        out.append(acc)
+    return out
+
+
+def _invert(matrix: List[List[int]]) -> List[List[int]]:
+    """Gauss-Jordan inversion over GF(2^8)."""
+    n = len(matrix)
+    work = [list(row) + [1 if i == j else 0 for j in range(n)] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot_row = next(
+            (r for r in range(col, n) if work[r][col] != 0), None
+        )
+        if pivot_row is None:
+            raise DecodeError("singular decode matrix")
+        work[col], work[pivot_row] = work[pivot_row], work[col]
+        pivot_inv = gf.inv(work[col][col])
+        work[col] = [gf.mul(v, pivot_inv) for v in work[col]]
+        for r in range(n):
+            if r != col and work[r][col] != 0:
+                factor = work[r][col]
+                work[r] = [
+                    gf.add(v, gf.mul(factor, p)) for v, p in zip(work[r], work[col])
+                ]
+    return [row[n:] for row in work]
+
+
+class RSCode:
+    """A (k+m, k) systematic Reed-Solomon code."""
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 0:
+            raise ValueError(f"invalid code parameters k={k}, m={m}")
+        if k + m > 255:
+            raise ValueError("k + m must be <= 255 for GF(2^8)")
+        self.k = k
+        self.m = m
+        self._parity = _cauchy_parity_matrix(k, m)
+
+    @property
+    def total_shards(self) -> int:
+        return self.k + self.m
+
+    # -- shard geometry -----------------------------------------------------
+
+    def shard_size(self, data_length: int) -> int:
+        return (data_length + self.k - 1) // self.k if data_length else 0
+
+    def split(self, data: bytes) -> List[bytes]:
+        """Pad and split ``data`` into k equal-size shards."""
+        size = self.shard_size(len(data))
+        padded = data.ljust(self.k * size, b"\0")
+        return [padded[i * size : (i + 1) * size] for i in range(self.k)]
+
+    # -- encode ---------------------------------------------------------------
+
+    def encode(self, data: bytes) -> List[bytes]:
+        """All k+m shards (data shards first, byte-exact systematic)."""
+        shards = self.split(data)
+        size = len(shards[0]) if shards else 0
+        parities = [bytearray(size) for _ in range(self.m)]
+        for offset in range(size):
+            column = [shard[offset] for shard in shards]
+            for row_index, value in enumerate(_mat_mul_vec(self._parity, column)):
+                parities[row_index][offset] = value
+        return shards + [bytes(p) for p in parities]
+
+    # -- decode ---------------------------------------------------------------
+
+    def decode(self, shards: Dict[int, bytes], data_length: int) -> bytes:
+        """Reconstruct the original data from any k shards.
+
+        ``shards`` maps shard index (0..k+m-1) to its bytes.
+        """
+        if len(shards) < self.k:
+            raise DecodeError(
+                f"need {self.k} shards, got {len(shards)}"
+            )
+        sizes = {len(v) for v in shards.values()}
+        if len(sizes) > 1:
+            raise DecodeError(f"inconsistent shard sizes: {sorted(sizes)}")
+        indices = sorted(shards)[: self.k]
+        # Fast path: all data shards present.
+        if indices == list(range(self.k)):
+            data = b"".join(shards[i] for i in range(self.k))
+            return data[:data_length]
+        # Build the k x k generator submatrix for the available rows.
+        rows = []
+        for index in indices:
+            if index < self.k:
+                rows.append([1 if j == index else 0 for j in range(self.k)])
+            else:
+                rows.append(list(self._parity[index - self.k]))
+        inverse = _invert(rows)
+        size = len(next(iter(shards.values())))
+        recovered = [bytearray(size) for _ in range(self.k)]
+        for offset in range(size):
+            column = [shards[i][offset] for i in indices]
+            for j, value in enumerate(_mat_mul_vec(inverse, column)):
+                recovered[j][offset] = value
+        return b"".join(bytes(r) for r in recovered)[:data_length]
+
+    def reconstruct_shard(self, shards: Dict[int, bytes], target: int, data_length: int) -> bytes:
+        """Rebuild one missing shard from any k survivors."""
+        data = self.decode(shards, self.k * self.shard_size(data_length))
+        return self.encode(data)[target]

@@ -1,0 +1,51 @@
+"""Paper-reproduction experiments: one module per table/figure/claim.
+
+| Module          | Paper artifact                                  |
+|-----------------|--------------------------------------------------|
+| ``table1``      | Table I — CapEx of five storage solutions        |
+| ``table2``      | Table II — single-disk throughput                |
+| ``table3``      | Table III — one-disk power                       |
+| ``table4``      | Table IV — hub power vs connected disks          |
+| ``table5``      | Table V — system power comparison                |
+| ``figure5``     | Figure 5 — multi-disk throughput scaling         |
+| ``figure6``     | Figure 6 — switching-time decomposition          |
+| ``duplex``      | §VII-A — 540 MB/s duplex, 2160 MB/s aggregate    |
+| ``hdfs_switch`` | §VII-B — HDFS across a disk switch               |
+| ``host_failover``| §I — 5.8 s single-host recovery                 |
+| ``ablations``   | DESIGN.md §4 — design-choice studies             |
+
+Every module exposes ``run() -> dict`` (structured results) and
+``main() -> str`` (a printable report).
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    duplex,
+    figure5,
+    figure6,
+    hdfs_switch,
+    host_failover,
+    reliability,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure5": figure5,
+    "figure6": figure6,
+    "duplex": duplex,
+    "hdfs_switch": hdfs_switch,
+    "host_failover": host_failover,
+    "ablations": ablations,
+    "reliability": reliability,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

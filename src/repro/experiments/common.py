@@ -1,0 +1,105 @@
+"""Shared helpers for the paper-reproduction experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.deployment import Deployment
+from repro.fabric.switching import SwitchConflict, plan_switches
+from repro.fabric.topology import Fabric
+
+__all__ = [
+    "conflict_free_batch",
+    "format_table",
+    "gather_disks_on_host",
+    "relative_error",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width text table (experiment reports)."""
+    columns = [
+        [str(h)] + [("-" if r[i] is None else f"{r[i]:.1f}" if isinstance(r[i], float) else str(r[i])) for r in rows]
+        for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in range(len(rows)):
+        lines.append("  ".join(columns[c][r + 1].rjust(widths[c]) for c in range(len(headers))))
+    return "\n".join(lines)
+
+
+def relative_error(measured: float, paper: float) -> float:
+    return (measured - paper) / paper if paper else 0.0
+
+
+def conflict_free_batch(
+    fabric: Fabric, target_host: str, size: int
+) -> List[Tuple[str, str]]:
+    """Pick ``size`` disks that can switch to ``target_host`` in one
+    conflict-free command (growing the batch greedily, dry-running
+    Algorithm 1 on each extension)."""
+    batch: List[Tuple[str, str]] = []
+    chosen = set()
+    for disk in fabric.disks:
+        if len(batch) >= size:
+            break
+        if disk.node_id in chosen:
+            continue
+        if fabric.attached_host(disk.node_id) == target_host:
+            continue
+        candidate = batch + [(disk.node_id, target_host)]
+        try:
+            plan_switches(fabric, candidate)
+        except SwitchConflict as conflict:
+            # A shared switch pins sibling disks: moving the whole group
+            # together is legal (they are all part of the command), so
+            # retry with the victims included — if that still fits.
+            victims = [
+                v
+                for v in conflict.victims
+                if v not in chosen and fabric.attached_host(v) != target_host
+            ]
+            if not victims or len(batch) + 1 + len(victims) > size:
+                continue
+            candidate = candidate + [(v, target_host) for v in victims]
+            try:
+                plan_switches(fabric, candidate)
+            except SwitchConflict:
+                continue
+        batch = candidate
+        chosen.update(d for d, _ in candidate)
+    if len(batch) != size:
+        raise ValueError(
+            f"only {len(batch)} disks can move to {target_host!r} conflict-free"
+        )
+    return batch[:size]
+
+
+def gather_disks_on_host(deployment: Deployment, host: str, wanted: int) -> List[str]:
+    """Physically move leaf groups until ``host`` serves ``wanted`` disks.
+
+    Operates directly on the fabric (pre-experiment setup, not part of
+    the measured path) and resyncs the USB views.
+    """
+    fabric = deployment.fabric
+    mine = [d for d, h in fabric.attachment_map().items() if h == host]
+    group = 0
+    num_groups = len(fabric.disks) // 2
+    while len(mine) < wanted and group < num_groups:
+        siblings = [f"disk{2 * group}", f"disk{2 * group + 1}"]
+        if fabric.attached_host(siblings[0]) != host:
+            try:
+                plan = plan_switches(fabric, [(d, host) for d in siblings])
+                fabric.apply_settings(plan.turns)
+            except SwitchConflict:
+                pass
+        group += 1
+        mine = [d for d, h in fabric.attachment_map().items() if h == host]
+    if len(mine) < wanted:
+        raise ValueError(f"could not gather {wanted} disks on {host!r}")
+    deployment.bus.sync()
+    return mine[:wanted]

@@ -1,0 +1,79 @@
+"""Experiment: Figure 5 — total throughput of multiple disks on one host.
+
+Reproduces the scaling curves: disks attached to a single host through
+the prototype fabric, one Iometer worker per disk, for the paper's
+workload mix.  The figure's anchor observations (§VII-A) are checked:
+
+* small transfers scale with disk count and saturate the USB tree
+  around 8 disks (the host-controller command-rate budget);
+* for large transfers two disks fill the ~300 MB/s root port;
+* bandwidth is shared evenly among the disks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cluster.deployment import build_deployment
+from repro.experiments.common import format_table, gather_disks_on_host
+from repro.workload.iometer import model_throughput
+from repro.workload.specs import WorkloadSpec
+
+__all__ = ["DISK_COUNTS", "WORKLOADS", "run"]
+
+DISK_COUNTS = (1, 2, 4, 8, 12)
+WORKLOADS = ("4KB-S-R", "4KB-S-W", "4KB-R-R", "4MB-S-R", "4MB-S-W", "4MB-R-R")
+
+
+def run() -> Dict:
+    series: Dict[str, List[float]] = {name: [] for name in WORKLOADS}
+    per_disk_even = True
+    for count in DISK_COUNTS:
+        deployment = build_deployment()
+        disks = gather_disks_on_host(deployment, "host0", count)
+        for name in WORKLOADS:
+            spec = WorkloadSpec.parse(name)
+            result = model_throughput(deployment.fabric, disks, spec)
+            series[name].append(result["total_bytes_per_second"] / 1e6)
+            shares = list(result["per_disk"].values())
+            if max(shares) - min(shares) > 1e-3 * max(shares):
+                per_disk_even = False
+    rows: List[List] = []
+    for name in WORKLOADS:
+        rows.append([name] + [round(v, 1) for v in series[name]])
+    anchors = {
+        # §VII-A: "two disks are enough to fill up the root hub's
+        # bandwidth, which is around 300MB/s".
+        "large_transfers_saturate_at_2_disks": series["4MB-S-R"][1] >= 295.0,
+        # "The sequential throughput of 8 disks can saturate the USB
+        # tree": growth from 8 to 12 disks is marginal.
+        "small_seq_saturates_by_8_disks": (
+            series["4KB-S-R"][4] - series["4KB-S-R"][3]
+        )
+        < 0.25 * (series["4KB-S-R"][3] - series["4KB-S-R"][2]),
+        # "throughput increases with the number of disks" (small I/O).
+        "small_io_scales": all(
+            series["4KB-S-R"][i] < series["4KB-S-R"][i + 1] for i in range(3)
+        ),
+        "shared_evenly": per_disk_even,
+    }
+    return {
+        "headers": ["Workload"] + [f"{c} disks" for c in DISK_COUNTS],
+        "rows": rows,
+        "series_mb_per_s": series,
+        "anchors": anchors,
+    }
+
+
+def main() -> str:
+    result = run()
+    lines = ["Figure 5: total MB/s of N disks on one host (model)", ""]
+    lines.append(format_table(result["headers"], result["rows"]))
+    lines.append("")
+    for name, holds in result["anchors"].items():
+        lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,38 @@
+"""Experiment: Table IV — hub power vs number of connected disks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import format_table, relative_error
+from repro.fabric.power import hub_power
+
+__all__ = ["PAPER_TABLE4", "run"]
+
+PAPER_TABLE4 = {0: 0.21, 1: 1.06, 2: 1.23, 3: 1.47, 4: 1.67}
+
+
+def run() -> Dict:
+    rows: List[List] = []
+    worst = 0.0
+    for count, paper in sorted(PAPER_TABLE4.items()):
+        model = hub_power(count)
+        error = relative_error(model, paper)
+        worst = max(worst, abs(error))
+        rows.append([count, round(model, 2), paper, f"{error:+.1%}"])
+    return {
+        "headers": ["Disks", "Model W", "Paper W", "Err"],
+        "rows": rows,
+        "worst_error": worst,
+    }
+
+
+def main() -> str:
+    result = run()
+    lines = ["Table IV: hub power vs connected disks", ""]
+    lines.append(format_table(result["headers"], result["rows"]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,64 @@
+"""Experiment: Table V — system power of three solutions, two states."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import format_table, relative_error
+from repro.fabric.builders import prototype_fabric
+from repro.power.systems import dd860_power, pergamum_power, ustore_power
+
+__all__ = ["PAPER_TABLE5", "run"]
+
+#: Paper values (watts, 16 disks amortized; 15 for DD860/ES30).
+PAPER_TABLE5 = {
+    "DD860/ES30": (222.5, 83.5),
+    "Pergamum": (193.5, 28.9),
+    "UStore": (166.8, 22.1),
+}
+
+
+def run() -> Dict:
+    fabric = prototype_fabric()
+    measured = {
+        "DD860/ES30": (dd860_power(True), dd860_power(False)),
+        "Pergamum": (
+            pergamum_power(True).wall_total,
+            pergamum_power(False).wall_total,
+        ),
+        "UStore": (
+            ustore_power(fabric, True).wall_total,
+            ustore_power(fabric, False).wall_total,
+        ),
+    }
+    rows: List[List] = []
+    worst = 0.0
+    for system, (paper_on, paper_off) in PAPER_TABLE5.items():
+        on, off = measured[system]
+        for state, value, paper in (("spinning", on, paper_on), ("powered off", off, paper_off)):
+            error = relative_error(value, paper)
+            worst = max(worst, abs(error))
+            rows.append([system, state, round(value, 1), paper, f"{error:+.1%}"])
+    ordering_holds = all(
+        measured["UStore"][i] < measured["Pergamum"][i] < measured["DD860/ES30"][i]
+        for i in (0, 1)
+    )
+    return {
+        "headers": ["System", "State", "Model W", "Paper W", "Err"],
+        "rows": rows,
+        "worst_error": worst,
+        "ordering_holds": ordering_holds,
+    }
+
+
+def main() -> str:
+    result = run()
+    lines = ["Table V: amortized power of a 16-disk unit", ""]
+    lines.append(format_table(result["headers"], result["rows"]))
+    lines.append("")
+    lines.append(f"UStore < Pergamum < DD860 in both states: {result['ordering_holds']}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

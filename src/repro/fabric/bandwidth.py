@@ -1,0 +1,196 @@
+"""Bandwidth sharing across the USB fat tree (reproduces Figure 5).
+
+USB 3.0 SuperSpeed is full duplex: ~5 Gb/s each way with 8b/10b
+encoding, which the prototype measures as ~300 MB/s of realizable
+one-direction payload per root port and ~540 MB/s total when reads and
+writes run simultaneously (§VII-A).  Small transfers saturate the host
+controller's command rate before they saturate bytes: the prototype's
+4 KB curves flatten around 8 disks (~45 k IO/s per root port).
+
+The model computes the max-min fair allocation of flow rates subject to
+three families of linear constraints, using progressive filling:
+
+* per link and direction: ``sum(rates) <= per_direction_capacity``;
+* per link: ``sum(all rates) <= duplex_capacity``;
+* per root port: ``sum(rate / io_size) <= root_iops_limit``;
+* per flow: ``rate <= demand`` (the disk-limited rate from
+  :class:`repro.disk.model.DiskModel`).
+
+The paper observes that bandwidth is shared evenly among disks on a
+host — exactly the max-min solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.fabric.topology import Fabric
+
+__all__ = ["BandwidthModel", "Flow", "FlowAllocation"]
+
+#: Realizable one-direction payload on a USB 3.0 link (calibrated: the
+#: paper's root hub tops out "around 300MB/s").
+DEFAULT_PER_DIRECTION_CAPACITY = 300e6
+
+#: Realizable duplex total (the paper measures 540 MB/s with half
+#: reads / half writes on one port).
+DEFAULT_DUPLEX_CAPACITY = 540e6
+
+#: Host-controller command rate per root port (calibrated: 4KB
+#: sequential curves saturate around 8 disks, ~45k IO/s).
+DEFAULT_ROOT_IOPS_LIMIT = 45_000.0
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One disk<->host data stream."""
+
+    flow_id: str
+    disk_id: str
+    demand: float  # bytes/s the disk could sustain alone
+    is_read: bool  # read: disk -> host direction
+    io_size: int = 4 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ValueError(f"negative demand {self.demand}")
+        if self.io_size <= 0:
+            raise ValueError(f"io_size must be positive, got {self.io_size}")
+
+
+@dataclass(frozen=True)
+class FlowAllocation:
+    """Result of the fair-share computation."""
+
+    rates: Dict[str, float]  # flow_id -> bytes/s
+
+    def total(self) -> float:
+        return sum(self.rates.values())
+
+    def rate(self, flow_id: str) -> float:
+        return self.rates[flow_id]
+
+
+@dataclass
+class _Constraint:
+    capacity: float
+    members: Dict[int, float]  # flow index -> weight
+
+
+class BandwidthModel:
+    """Max-min fair allocator over a fabric's active topology."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        per_direction_capacity: float = DEFAULT_PER_DIRECTION_CAPACITY,
+        duplex_capacity: float = DEFAULT_DUPLEX_CAPACITY,
+        root_iops_limit: Optional[float] = DEFAULT_ROOT_IOPS_LIMIT,
+    ):
+        self.fabric = fabric
+        self.per_direction_capacity = per_direction_capacity
+        self.duplex_capacity = duplex_capacity
+        self.root_iops_limit = root_iops_limit
+
+    # -- constraint construction ------------------------------------------
+
+    def _flow_links(self, flow: Flow) -> List[Tuple[str, str]]:
+        """(child, parent) link pairs on the flow's active path."""
+        walk = self.fabric.trace_up(flow.disk_id)
+        if not walk or self.fabric.node(walk[-1]).kind.value != "host_port":
+            raise ValueError(f"disk {flow.disk_id!r} is not attached to any host")
+        return list(zip(walk, walk[1:]))
+
+    def _build_constraints(self, flows: Sequence[Flow]) -> List[_Constraint]:
+        directional: Dict[Tuple[str, str, bool], _Constraint] = {}
+        duplex: Dict[Tuple[str, str], _Constraint] = {}
+        root_iops: Dict[str, _Constraint] = {}
+        constraints: List[_Constraint] = []
+
+        for index, flow in enumerate(flows):
+            links = self._flow_links(flow)
+            for link in links:
+                key = (link[0], link[1], flow.is_read)
+                cons = directional.get(key)
+                if cons is None:
+                    cons = _Constraint(self.per_direction_capacity, {})
+                    directional[key] = cons
+                    constraints.append(cons)
+                cons.members[index] = 1.0
+
+                dkey = (link[0], link[1])
+                dcons = duplex.get(dkey)
+                if dcons is None:
+                    dcons = _Constraint(self.duplex_capacity, {})
+                    duplex[dkey] = dcons
+                    constraints.append(dcons)
+                dcons.members[index] = 1.0
+            if self.root_iops_limit is not None and links:
+                root = links[-1][1]
+                rcons = root_iops.get(root)
+                if rcons is None:
+                    rcons = _Constraint(self.root_iops_limit, {})
+                    root_iops[root] = rcons
+                    constraints.append(rcons)
+                rcons.members[index] = 1.0 / flow.io_size
+        return constraints
+
+    # -- progressive filling -------------------------------------------------
+
+    def allocate(self, flows: Sequence[Flow]) -> FlowAllocation:
+        """Max-min fair rates for ``flows`` over the current topology."""
+        if not flows:
+            return FlowAllocation(rates={})
+        seen = set()
+        for flow in flows:
+            if flow.flow_id in seen:
+                raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+            seen.add(flow.flow_id)
+
+        constraints = self._build_constraints(flows)
+        n = len(flows)
+        rates = [0.0] * n
+        frozen = [False] * n
+
+        # Demand caps as single-member constraints.
+        for i, flow in enumerate(flows):
+            constraints.append(_Constraint(flow.demand, {i: 1.0}))
+
+        for _ in range(n + len(constraints)):
+            active = [i for i in range(n) if not frozen[i]]
+            if not active:
+                break
+            # Largest uniform increment t such that every constraint holds
+            # when all active flows rise by t together.
+            best_t = float("inf")
+            binding: List[_Constraint] = []
+            for cons in constraints:
+                used = sum(cons.members.get(i, 0.0) * rates[i] for i in cons.members)
+                weight = sum(w for i, w in cons.members.items() if not frozen[i])
+                if weight <= 0.0:
+                    continue
+                t = (cons.capacity - used) / weight
+                if t < best_t - 1e-12:
+                    best_t = t
+                    binding = [cons]
+                elif abs(t - best_t) <= 1e-12:
+                    binding.append(cons)
+            if not binding:
+                break
+            best_t = max(best_t, 0.0)
+            for i in active:
+                rates[i] += best_t
+            for cons in binding:
+                for i in cons.members:
+                    frozen[i] = True
+
+        return FlowAllocation(
+            rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
+        )
+
+    # -- convenience -----------------------------------------------------------
+
+    def aggregate_throughput(self, flows: Sequence[Flow]) -> float:
+        """Total bytes/s delivered for ``flows``."""
+        return self.allocate(flows).total()

@@ -1,0 +1,186 @@
+"""Standard fabric constructions from the paper (Figure 2 and §V).
+
+Three builders are provided:
+
+* :func:`dual_tree_fabric` — Figure 2 *left*: one full hub tree per
+  host, every disk picks a tree through a leaf-level switch chain.
+* :func:`ring_fabric` — Figure 2 *right* / the §V-B prototype: switches
+  sit higher in the tree; every disk's path crosses exactly two hubs and
+  two switches.  Leaf groups and hosts are arranged on a ring so each
+  disk can reach every host while the hardware count stays minimal.
+* :func:`prototype_fabric` — the paper's 16-disk, 4-host deploy unit
+  (a :func:`ring_fabric` with the prototype's parameters).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.fabric.components import Bridge, DiskNode, FabricError, HostPort, Hub, Switch
+from repro.fabric.topology import Fabric
+
+__all__ = [
+    "dual_tree_fabric",
+    "prototype_fabric",
+    "ring_fabric",
+]
+
+
+def _add_disk(fabric: Fabric, index: int, parent_id: str, prefix: str = "") -> str:
+    """Create disk+bridge pair and hang it below ``parent_id``."""
+    disk = fabric.add(DiskNode(f"{prefix}disk{index}"))
+    bridge = fabric.add(Bridge(f"{prefix}bridge{index}"))
+    fabric.connect(disk.node_id, bridge.node_id)
+    fabric.connect(bridge.node_id, parent_id)
+    return disk.node_id
+
+
+def _build_hub_tree(
+    fabric: Fabric, tree_name: str, num_leaf_slots: int, fan_in: int, root_parent: str
+) -> List[str]:
+    """Build a full ``fan_in``-ary hub tree under ``root_parent``.
+
+    Returns the ids of the leaf hubs, each of which exposes ``fan_in``
+    free downstream ports (``num_leaf_slots`` total across all of them).
+    """
+    if num_leaf_slots < 1:
+        raise FabricError("hub tree needs at least one leaf slot")
+    num_leaf_hubs = max(1, math.ceil(num_leaf_slots / fan_in))
+    level: List[str] = []
+    for i in range(num_leaf_hubs):
+        hub = fabric.add(Hub(f"{tree_name}-leafhub{i}", fan_in=fan_in))
+        level.append(hub.node_id)
+    depth = 0
+    while len(level) > 1:
+        depth += 1
+        next_level: List[str] = []
+        for i in range(0, len(level), fan_in):
+            hub = fabric.add(Hub(f"{tree_name}-l{depth}hub{i // fan_in}", fan_in=fan_in))
+            for child in level[i : i + fan_in]:
+                fabric.connect(child, hub.node_id)
+            next_level.append(hub.node_id)
+        level = next_level
+    fabric.connect(level[0], root_parent)
+    return [f"{tree_name}-leafhub{i}" for i in range(num_leaf_hubs)]
+
+
+def dual_tree_fabric(
+    num_disks: int, num_hosts: int = 2, fan_in: int = 4, prefix: str = ""
+) -> Fabric:
+    """Figure 2 (left): one full hub tree per host, switched at the leaf.
+
+    Each disk hangs below a chain of ``ceil(log2(num_hosts))`` switches
+    whose leaves plug into the corresponding leaf slot of every hub
+    tree, so any disk can be connected to any host independently of all
+    other disks.
+    """
+    if num_disks < 1:
+        raise FabricError("num_disks must be >= 1")
+    if num_hosts < 2:
+        raise FabricError("dual-tree design needs >= 2 hosts")
+    if num_hosts & (num_hosts - 1):
+        raise FabricError("num_hosts must be a power of two (2:1 switch chains)")
+
+    fabric = Fabric(name=f"{prefix}dual-tree-{num_disks}d-{num_hosts}h")
+    # One root port and one full hub tree per host.
+    tree_leaf_hubs: List[List[str]] = []
+    for h in range(num_hosts):
+        port = fabric.add(HostPort(f"{prefix}port-h{h}", host_id=f"{prefix}host{h}"))
+        leaf_hubs = _build_hub_tree(fabric, f"{prefix}t{h}", num_disks, fan_in, port.node_id)
+        tree_leaf_hubs.append(leaf_hubs)
+
+    for d in range(num_disks):
+        hub_index, slot = divmod(d, fan_in)
+        # Switch tree with num_hosts leaves: disk at the root (downstream),
+        # hub slots at the leaves (upstreams).
+        targets = [tree_leaf_hubs[h][hub_index] for h in range(num_hosts)]
+        level_nodes = targets
+        level = 0
+        while len(level_nodes) > 1:
+            next_nodes: List[str] = []
+            for i in range(0, len(level_nodes), 2):
+                sw = fabric.add(Switch(f"{prefix}sw-d{d}-l{level}-{i // 2}"))
+                fabric.connect(sw.node_id, level_nodes[i])
+                fabric.connect(sw.node_id, level_nodes[i + 1])
+                next_nodes.append(sw.node_id)
+            level_nodes = next_nodes
+            level += 1
+        _add_disk(fabric, d, level_nodes[0], prefix)
+    return fabric
+
+
+def ring_fabric(
+    num_hosts: int = 4,
+    disks_per_leaf: int = 2,
+    fan_in: int = 4,
+    prefix: str = "",
+) -> Fabric:
+    """Figure 2 (right): switches placed above the leaf hubs.
+
+    Layout.  Each host contributes one *root hub* plugged into its root
+    port.  There are ``2 * num_hosts`` *leaf hubs*, each carrying
+    ``disks_per_leaf`` disks.  Two switch levels provide reconfiguration:
+
+    * leaf switch ``S_i``: leaf hub ``i`` routes to root hub
+      ``i mod H`` (primary) or ``(i+1) mod H`` (alternate);
+    * disk switch ``T_d``: disk ``d`` of leaf group ``g`` routes to leaf
+      hub ``g`` (primary) or ``(g+2) mod 2H`` (alternate).
+
+    Every disk's path is ``bridge → switch → leaf hub → switch →
+    root hub → host port`` — two hubs, two switches and a bridge,
+    matching the §VII-A description of the prototype — and the ring
+    offsets are chosen so the primary and alternate leaf hubs cover
+    disjoint root-hub pairs, giving every disk a path to four distinct
+    hosts (all hosts, for the prototype's ``num_hosts=4``).
+
+    Physical port budgets hold exactly at the defaults: each root hub
+    receives 4 leaf-switch connectors and each leaf hub receives
+    ``2*disks_per_leaf <= fan_in`` disk-switch connectors.
+    """
+    if num_hosts < 2:
+        raise FabricError("ring fabric needs >= 2 hosts")
+    if disks_per_leaf < 1:
+        raise FabricError("need at least one disk per leaf hub")
+    if 2 * disks_per_leaf > fan_in:
+        raise FabricError(
+            f"leaf hub fan-in {fan_in} cannot host {disks_per_leaf} primary "
+            f"plus {disks_per_leaf} alternate disk connectors"
+        )
+
+    num_leaf_hubs = 2 * num_hosts
+    fabric = Fabric(name=f"{prefix}ring-{num_leaf_hubs * disks_per_leaf}d-{num_hosts}h")
+
+    ports = [
+        fabric.add(HostPort(f"{prefix}port-h{h}", host_id=f"{prefix}host{h}"))
+        for h in range(num_hosts)
+    ]
+    root_hubs = [
+        fabric.add(Hub(f"{prefix}roothub{h}", fan_in=fan_in)) for h in range(num_hosts)
+    ]
+    for h in range(num_hosts):
+        fabric.connect(root_hubs[h].node_id, ports[h].node_id)
+
+    leaf_hubs = []
+    for i in range(num_leaf_hubs):
+        leaf_hub = fabric.add(Hub(f"{prefix}leafhub{i}", fan_in=fan_in))
+        sw = fabric.add(Switch(f"{prefix}leafsw{i}"))
+        fabric.connect(sw.node_id, root_hubs[i % num_hosts].node_id)
+        fabric.connect(sw.node_id, root_hubs[(i + 1) % num_hosts].node_id)
+        fabric.connect(leaf_hub.node_id, sw.node_id)
+        leaf_hubs.append(leaf_hub)
+
+    disk_index = 0
+    for g in range(num_leaf_hubs):
+        for _ in range(disks_per_leaf):
+            sw = fabric.add(Switch(f"{prefix}disksw{disk_index}"))
+            fabric.connect(sw.node_id, leaf_hubs[g].node_id)
+            fabric.connect(sw.node_id, leaf_hubs[(g + 2) % num_leaf_hubs].node_id)
+            _add_disk(fabric, disk_index, sw.node_id, prefix)
+            disk_index += 1
+    return fabric
+
+
+def prototype_fabric() -> Fabric:
+    """The paper's proof-of-concept unit: 16 disks, 4 hosts (§V-B)."""
+    return ring_fabric(num_hosts=4, disks_per_leaf=2, fan_in=4)

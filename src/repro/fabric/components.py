@@ -1,0 +1,130 @@
+"""Component types of the UStore interconnect fabric.
+
+The fabric (paper §III) is built from two primitives:
+
+* **hubs** — aggregation devices with a fan-in of ``k`` downstream ports
+  and one upstream port;
+* **switches** — 2:1 multiplexers that connect their single downstream
+  port to one of two upstream ports, selected by a control signal.
+
+Leaves are hard disks behind SATA-to-USB **bridges**; roots are **host
+ports** (USB 3.0 root ports on the deploy unit's host servers).
+
+Components carry a ``failed`` flag; connectivity and path logic live in
+:mod:`repro.fabric.topology`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+__all__ = [
+    "Bridge",
+    "DiskNode",
+    "FabricError",
+    "FabricNode",
+    "HostPort",
+    "Hub",
+    "NodeKind",
+    "Switch",
+]
+
+
+class FabricError(Exception):
+    """Raised for structural violations of the fabric."""
+
+
+class NodeKind(enum.Enum):
+    HOST_PORT = "host_port"
+    HUB = "hub"
+    SWITCH = "switch"
+    BRIDGE = "bridge"
+    DISK = "disk"
+
+
+class FabricNode:
+    """Base class for all fabric components."""
+
+    kind: NodeKind
+
+    def __init__(self, node_id: str):
+        if not node_id:
+            raise FabricError("node_id must be non-empty")
+        self.node_id = node_id
+        self.failed = False
+
+    def fail(self) -> None:
+        self.failed = True
+
+    def repair(self) -> None:
+        self.failed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " FAILED" if self.failed else ""
+        return f"<{type(self).__name__} {self.node_id}{flag}>"
+
+
+class HostPort(FabricNode):
+    """A root of the fabric: one USB 3.0 root port on a host server."""
+
+    kind = NodeKind.HOST_PORT
+
+    def __init__(self, node_id: str, host_id: str):
+        super().__init__(node_id)
+        if not host_id:
+            raise FabricError("host_id must be non-empty")
+        self.host_id = host_id
+
+
+class Hub(FabricNode):
+    """An aggregation device with ``fan_in`` downstream ports."""
+
+    kind = NodeKind.HUB
+
+    def __init__(self, node_id: str, fan_in: int = 4):
+        super().__init__(node_id)
+        if fan_in < 1:
+            raise FabricError(f"hub fan-in must be >= 1, got {fan_in}")
+        self.fan_in = fan_in
+
+
+class Switch(FabricNode):
+    """A 2:1 multiplexer; ``state`` selects upstream 0 or 1."""
+
+    kind = NodeKind.SWITCH
+    NUM_UPSTREAMS = 2
+
+    def __init__(self, node_id: str, state: int = 0):
+        super().__init__(node_id)
+        self._state = 0
+        self.state = state
+        self.turn_count = 0
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @state.setter
+    def state(self, value: int) -> None:
+        if value not in (0, 1):
+            raise FabricError(f"switch state must be 0 or 1, got {value!r}")
+        self._state = value
+
+    def turn(self, new_state: Optional[int] = None) -> int:
+        """Set (or toggle) the switch state; returns the new state."""
+        self.state = (1 - self._state) if new_state is None else new_state
+        self.turn_count += 1
+        return self._state
+
+
+class Bridge(FabricNode):
+    """A SATA-to-USB 3.0 bridge chip (one per disk enclosure)."""
+
+    kind = NodeKind.BRIDGE
+
+
+class DiskNode(FabricNode):
+    """A leaf of the fabric: the position of one hard disk."""
+
+    kind = NodeKind.DISK

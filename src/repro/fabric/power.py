@@ -1,0 +1,120 @@
+"""Power model of the interconnect fabric (§VII-C, Table IV).
+
+Measured on the prototype:
+
+* a 2:1 USB switch draws ~0.06 W;
+* an unloaded 4-port hub draws 0.21 W; the first connected (powered)
+  device adds ~0.64 W, each further device ~0.21 W, independent of
+  whether the disks are idle or busy (Table IV);
+* the whole 16-disk fabric draws ~13.6 W while serving I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.fabric.components import NodeKind
+from repro.fabric.topology import Fabric
+
+__all__ = ["FabricPowerModel", "FabricPowerParams", "hub_power"]
+
+
+@dataclass(frozen=True)
+class FabricPowerParams:
+    """Calibrated component power constants (watts)."""
+
+    switch: float = 0.06
+    hub_base: float = 0.21
+    hub_first_device: float = 0.85
+    hub_per_extra_device: float = 0.205
+    bridge_active_extra: float = 0.0  # bridge power is folded into the
+    # disk's USB power profile (Table III measures disk+bridge together)
+
+
+def hub_power(connected_devices: int, params: FabricPowerParams = FabricPowerParams()) -> float:
+    """Power of one hub with ``connected_devices`` powered downstreams.
+
+    Reproduces Table IV: 0 -> 0.21 W, 1 -> 1.06 W, 2 -> 1.27 W,
+    3 -> 1.48 W, 4 -> 1.69 W (paper: 0.21 / 1.06 / 1.23 / 1.47 / 1.67).
+    """
+    if connected_devices < 0:
+        raise ValueError(f"negative device count {connected_devices}")
+    power = params.hub_base
+    if connected_devices >= 1:
+        power += params.hub_first_device
+        power += params.hub_per_extra_device * (connected_devices - 1)
+    return power
+
+
+class FabricPowerModel:
+    """Aggregate fabric power as a function of which parts are powered."""
+
+    def __init__(self, fabric: Fabric, params: FabricPowerParams = FabricPowerParams()):
+        self.fabric = fabric
+        self.params = params
+        # node_id -> powered flag; default everything on.
+        self.powered: Dict[str, bool] = {n: True for n in fabric.nodes}
+
+    def set_powered(self, node_id: str, powered: bool) -> None:
+        if node_id not in self.powered:
+            raise KeyError(f"unknown node {node_id!r}")
+        self.powered[node_id] = powered
+
+    def power_off_subtree(self, node_id: str) -> None:
+        """Cut power to a node and everything below it (§IV-F)."""
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            self.powered[current] = False
+            stack.extend(self.fabric.downstreams(current))
+
+    def power_on_subtree(self, node_id: str) -> None:
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            self.powered[current] = True
+            stack.extend(self.fabric.downstreams(current))
+
+    def _hub_connected_devices(self, hub_id: str) -> int:
+        """Powered devices presently loading a hub's downstream ports.
+
+        A downstream switch is transparent, and it only presents a load
+        when its *active* upstream is this hub — an alternate connector
+        whose switch routes elsewhere is electrically disconnected.
+        """
+        count = 0
+        for child in self.fabric.downstreams(hub_id):
+            if self._branch_loads(child, hub_id):
+                count += 1
+        return count
+
+    def _branch_loads(self, node_id: str, parent_id: str) -> bool:
+        if not self.powered[node_id]:
+            return False
+        node = self.fabric.node(node_id)
+        if node.kind is NodeKind.SWITCH:
+            if self.fabric.active_upstream(node_id) != parent_id:
+                return False
+            for child in self.fabric.downstreams(node_id):
+                if self._branch_loads(child, node_id):
+                    return True
+            return False
+        return node.kind in (NodeKind.HUB, NodeKind.BRIDGE, NodeKind.DISK)
+
+    def total_power(self) -> float:
+        """Watts drawn by the fabric itself (hubs + switches).
+
+        Bridge and disk power are accounted per disk via
+        :class:`repro.disk.specs.DiskPowerProfile` (Table III measures
+        the enclosure, i.e. disk + bridge, as one unit).
+        """
+        total = 0.0
+        for node_id, node in self.fabric.nodes.items():
+            if not self.powered[node_id]:
+                continue
+            if node.kind is NodeKind.SWITCH:
+                total += self.params.switch
+            elif node.kind is NodeKind.HUB:
+                total += hub_power(self._hub_connected_devices(node_id), self.params)
+        return total

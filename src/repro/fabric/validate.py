@@ -1,0 +1,132 @@
+"""Structural validation of a fabric against USB constraints (§II-B).
+
+The USB specification allows at most 5 hub tiers below a root port and
+at most 127 devices (including hubs) per tree.  The paper additionally
+reports an Intel xHCI driver quirk limiting one root port to ~15 usable
+devices (§V-B); validation can optionally enforce that too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.fabric.components import NodeKind
+from repro.fabric.topology import Fabric
+
+__all__ = ["ValidationReport", "validate_fabric"]
+
+USB_MAX_HUB_TIERS = 5
+USB_MAX_DEVICES_PER_TREE = 127
+INTEL_XHCI_DEVICE_LIMIT = 15
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_fabric`."""
+
+    ok: bool = True
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    max_hub_depth: int = 0
+    worst_case_devices_per_port: Dict[str, int] = field(default_factory=dict)
+    min_reachable_hosts: int = 0
+
+    def add_error(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+
+def validate_fabric(
+    fabric: Fabric,
+    require_full_reachability: bool = True,
+    enforce_intel_quirk: bool = False,
+) -> ValidationReport:
+    """Check a fabric against structural and USB-protocol constraints.
+
+    * every disk has a bridge directly upstream;
+    * every non-root node has its upstream ports fully wired;
+    * no path exceeds 5 hub tiers;
+    * worst-case devices per root port stays within 127 (or 15 with the
+      Intel quirk enforced);
+    * every disk reaches >= 2 hosts (or *all* hosts when
+      ``require_full_reachability``).
+    """
+    report = ValidationReport()
+    if not fabric.disks:
+        report.add_error("fabric has no disks")
+    if not fabric.host_ports:
+        report.add_error("fabric has no host ports")
+    if report.errors:
+        return report
+
+    for node_id, node in fabric.nodes.items():
+        if node.kind is NodeKind.HOST_PORT:
+            continue
+        expected = 2 if node.kind is NodeKind.SWITCH else 1
+        actual = len(fabric.upstreams(node_id))
+        if actual != expected:
+            report.add_error(
+                f"{node_id!r} has {actual} upstream(s); expected {expected}"
+            )
+
+    for disk in fabric.disks:
+        ups = fabric.upstreams(disk.node_id)
+        if ups and fabric.node(ups[0]).kind is not NodeKind.BRIDGE:
+            report.add_error(f"disk {disk.node_id!r} is not behind a bridge")
+
+    num_hosts = len(fabric.hosts())
+    min_reach = num_hosts if num_hosts else 0
+    for disk in fabric.disks:
+        paths = fabric.paths(disk.node_id)
+        if not paths:
+            report.add_error(f"disk {disk.node_id!r} reaches no host port")
+            continue
+        depth = max(
+            sum(1 for n in p.nodes if fabric.node(n).kind is NodeKind.HUB)
+            for p in paths
+        )
+        report.max_hub_depth = max(report.max_hub_depth, depth)
+        if depth > USB_MAX_HUB_TIERS:
+            report.add_error(
+                f"disk {disk.node_id!r} sits below {depth} hub tiers "
+                f"(USB allows {USB_MAX_HUB_TIERS})"
+            )
+        reach = len(fabric.reachable_hosts(disk.node_id, respect_failures=False))
+        min_reach = min(min_reach, reach)
+        if require_full_reachability and reach < num_hosts:
+            report.add_error(
+                f"disk {disk.node_id!r} reaches only {reach}/{num_hosts} hosts"
+            )
+        elif reach < 2:
+            report.add_error(
+                f"disk {disk.node_id!r} reaches a single host: no failover path"
+            )
+    report.min_reachable_hosts = min_reach
+
+    # Worst-case device census per root port: each bridge (the disk's
+    # USB mass-storage identity) and hub that *could* route to the port
+    # counts as one device; switches are transparent to USB enumeration
+    # (§IV-E) and the disk itself sits behind the bridge.
+    limit = INTEL_XHCI_DEVICE_LIMIT if enforce_intel_quirk else USB_MAX_DEVICES_PER_TREE
+    for port in fabric.host_ports:
+        members = set()
+        for disk in fabric.disks:
+            for path in fabric.paths(disk.node_id):
+                if path.host_port_id != port.node_id:
+                    continue
+                for node_id in path.nodes[:-1]:
+                    if fabric.node(node_id).kind in (NodeKind.BRIDGE, NodeKind.HUB):
+                        members.add(node_id)
+        count = len(members)
+        report.worst_case_devices_per_port[port.node_id] = count
+        if count > limit:
+            message = (
+                f"port {port.node_id!r} can see up to {count} USB devices; "
+                f"limit {limit}"
+            )
+            if enforce_intel_quirk and count <= USB_MAX_DEVICES_PER_TREE:
+                report.warnings.append(message + " (Intel xHCI quirk)")
+            else:
+                report.add_error(message)
+    return report

@@ -1,0 +1,23 @@
+"""Fault injection: hosts, disks, fabric components, control plane."""
+
+from repro.faults.injector import (
+    DISK_MTTF,
+    FABRIC_COMPONENT_MTTF,
+    HOST_MTTF,
+    MONTH,
+    YEAR,
+    FaultInjector,
+    FaultRecord,
+    MttfSchedule,
+)
+
+__all__ = [
+    "DISK_MTTF",
+    "FABRIC_COMPONENT_MTTF",
+    "FaultInjector",
+    "FaultRecord",
+    "HOST_MTTF",
+    "MONTH",
+    "MttfSchedule",
+    "YEAR",
+]

@@ -1,0 +1,133 @@
+"""Fault injection against a running deployment (§IV-E failure domains).
+
+The paper identifies three failure domains — hosts, the interconnect
+fabric, and disks — with very different failure rates (hosts: MTTF
+~3.4 months; disks: 10-50 years; interconnect components comparable to
+disks).  The :class:`FaultInjector` can trigger any of them on demand,
+and :class:`MttfSchedule` can generate exponential arrival times for
+long-horizon availability studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.cluster.deployment import Deployment
+from repro.sim import Event
+from repro.sim.rng import RngRegistry
+
+__all__ = ["FaultInjector", "FaultRecord", "MttfSchedule", "MONTH", "YEAR"]
+
+MONTH = 30 * 24 * 3600.0
+YEAR = 365 * 24 * 3600.0
+
+#: §IV-E, citing [18]/[19]: host MTTF 3.4 months, disks 10-50 years,
+#: physical interconnect comparable to disks.
+HOST_MTTF = 3.4 * MONTH
+DISK_MTTF = 20 * YEAR
+FABRIC_COMPONENT_MTTF = 20 * YEAR
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    time: float
+    kind: str
+    target: str
+
+
+class FaultInjector:
+    """Imperative fault triggers with an audit trail."""
+
+    def __init__(self, deployment: Deployment):
+        self.deployment = deployment
+        self.history: List[FaultRecord] = []
+
+    def _log(self, kind: str, target: str) -> None:
+        self.history.append(FaultRecord(self.deployment.sim.now, kind, target))
+
+    # -- hosts -----------------------------------------------------------
+
+    def crash_host(self, host_id: str) -> None:
+        self.deployment.crash_host(host_id)
+        self._log("host_crash", host_id)
+
+    def recover_host(self, host_id: str) -> None:
+        self.deployment.recover_host(host_id)
+        self._log("host_recover", host_id)
+
+    # -- disks ------------------------------------------------------------
+
+    def fail_disk(self, disk_id: str) -> None:
+        self.deployment.disks[disk_id].fail()
+        self.deployment.fabric.node(disk_id).fail()
+        self.deployment.bus.sync()
+        self._log("disk_fail", disk_id)
+
+    def repair_disk(self, disk_id: str) -> None:
+        self.deployment.disks[disk_id].repair()
+        self.deployment.fabric.node(disk_id).repair()
+        self.deployment.bus.sync()
+        self._log("disk_repair", disk_id)
+
+    # -- fabric components ---------------------------------------------------
+
+    def fail_component(self, node_id: str) -> None:
+        """Fail a hub/switch/bridge; downstream disks vanish from hosts."""
+        self.deployment.fabric.node(node_id).fail()
+        self.deployment.bus.sync()
+        self._log("fabric_fail", node_id)
+
+    def repair_component(self, node_id: str) -> None:
+        self.deployment.fabric.node(node_id).repair()
+        self.deployment.bus.sync()
+        self._log("fabric_repair", node_id)
+
+    # -- control plane ----------------------------------------------------------
+
+    def fail_primary_controller(self) -> None:
+        """Kill the primary Controller host and hand over the signals."""
+        primary = self.deployment.controllers[0]
+        backup = self.deployment.controllers[1]
+        primary.crash()
+        backup.take_over_control_plane()
+        self._log("controller_fail", primary.address)
+
+
+class MttfSchedule:
+    """Exponential failure arrivals for long-horizon studies."""
+
+    def __init__(
+        self,
+        rng: RngRegistry,
+        host_mttf: float = HOST_MTTF,
+        disk_mttf: float = DISK_MTTF,
+        fabric_mttf: float = FABRIC_COMPONENT_MTTF,
+    ):
+        self._rng = rng.stream("mttf")
+        self.host_mttf = host_mttf
+        self.disk_mttf = disk_mttf
+        self.fabric_mttf = fabric_mttf
+
+    def _exponential(self, mean: float) -> float:
+        u = self._rng.random()
+        return -mean * math.log(1.0 - u)
+
+    def next_host_failure(self) -> float:
+        return self._exponential(self.host_mttf)
+
+    def next_disk_failure(self) -> float:
+        return self._exponential(self.disk_mttf)
+
+    def next_fabric_failure(self) -> float:
+        return self._exponential(self.fabric_mttf)
+
+    def failures_within(self, horizon: float, mean: float) -> List[float]:
+        """Arrival times of a Poisson process within ``horizon``."""
+        times: List[float] = []
+        t = self._exponential(mean)
+        while t < horizon:
+            times.append(t)
+            t += self._exponential(mean)
+        return times

@@ -1,0 +1,6 @@
+"""Hardware control plane: microcontrollers, relays, rolling spin-up."""
+
+from repro.hardware.microcontroller import ControlPlane, Microcontroller
+from repro.hardware.relays import RelayBank, rolling_spin_up
+
+__all__ = ["ControlPlane", "Microcontroller", "RelayBank", "rolling_spin_up"]

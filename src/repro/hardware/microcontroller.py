@@ -1,0 +1,105 @@
+"""The control plane's microcontrollers (§III-B).
+
+Switch control signals come from a microcontroller attached over USB to
+a controlling host.  To avoid a single point of failure, a second
+microcontroller on a different host is wired in: the two output
+vectors are XOR-ed to form the final switch signals, and during normal
+operation only one of them is powered.  When the primary host dies, the
+backup microcontroller is powered on and takes over — flipping its own
+bits reproduces any desired signal because of the XOR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fabric.components import FabricError, Switch
+from repro.fabric.topology import Fabric
+
+__all__ = ["ControlPlane", "Microcontroller"]
+
+
+class Microcontroller:
+    """One Arduino-style board driving the switch signal lines."""
+
+    def __init__(self, mc_id: str, switch_ids: List[str]):
+        self.mc_id = mc_id
+        self.powered = False
+        self.failed = False
+        self.outputs: Dict[str, int] = {sw: 0 for sw in switch_ids}
+
+    def set_output(self, switch_id: str, value: int) -> None:
+        if not self.powered or self.failed:
+            raise FabricError(f"microcontroller {self.mc_id!r} is not operational")
+        if switch_id not in self.outputs:
+            raise FabricError(f"{self.mc_id!r} has no line for {switch_id!r}")
+        if value not in (0, 1):
+            raise FabricError(f"signal must be 0/1, got {value!r}")
+        self.outputs[switch_id] = value
+
+    def effective_outputs(self) -> Dict[str, int]:
+        """Lines float to 0 when the board is unpowered or failed."""
+        if not self.powered or self.failed:
+            return {sw: 0 for sw in self.outputs}
+        return dict(self.outputs)
+
+
+class ControlPlane:
+    """Two XOR-ed microcontrollers driving a fabric's switches."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+        switch_ids = [s.node_id for s in fabric.switches]
+        self.primary = Microcontroller("mc-primary", switch_ids)
+        self.backup = Microcontroller("mc-backup", switch_ids)
+        self.primary.powered = True
+        self._sync_switches()
+
+    @property
+    def active(self) -> Optional[Microcontroller]:
+        for mc in (self.primary, self.backup):
+            if mc.powered and not mc.failed:
+                return mc
+        return None
+
+    def signal(self, switch_id: str) -> int:
+        """The XOR-combined control signal for one switch."""
+        a = self.primary.effective_outputs().get(switch_id, 0)
+        b = self.backup.effective_outputs().get(switch_id, 0)
+        return a ^ b
+
+    def set_switch(self, switch_id: str, state: int) -> None:
+        """Drive one switch to ``state`` through the active board."""
+        mc = self.active
+        if mc is None:
+            raise FabricError("no operational microcontroller")
+        other = self.backup if mc is self.primary else self.primary
+        desired_own = state ^ other.effective_outputs().get(switch_id, 0)
+        mc.set_output(switch_id, desired_own)
+        self._apply(switch_id)
+
+    def failover_to_backup(self) -> None:
+        """Power on the backup after losing the primary (§III-B).
+
+        The backup initializes its outputs to reproduce the current
+        switch states so that powering it on glitches nothing.
+        """
+        current = {s.node_id: s.state for s in self.fabric.switches}
+        self.primary.powered = False
+        self.backup.powered = True
+        for switch_id, state in current.items():
+            # With the primary dark its lines are 0, so backup = state.
+            self.backup.outputs[switch_id] = state
+            self._apply(switch_id)
+
+    def _apply(self, switch_id: str) -> None:
+        switch = self.fabric.node(switch_id)
+        assert isinstance(switch, Switch)
+        value = self.signal(switch_id)
+        if switch.state != value:
+            switch.turn(value)
+
+    def _sync_switches(self) -> None:
+        """Align microcontroller outputs with the fabric's initial states."""
+        for switch in self.fabric.switches:
+            self.primary.outputs[switch.node_id] = switch.state

@@ -1,0 +1,16 @@
+"""Mini-HDFS overlay service used by the §VII-B experiment."""
+
+from repro.hdfs.client import HdfsClient, WriteReport
+from repro.hdfs.cluster import HdfsOnUstore, build_hdfs_on_ustore
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import BlockInfo, NameNode
+
+__all__ = [
+    "BlockInfo",
+    "DataNode",
+    "HdfsClient",
+    "HdfsOnUstore",
+    "NameNode",
+    "WriteReport",
+    "build_hdfs_on_ustore",
+]

@@ -1,0 +1,26 @@
+"""Simulated network, RPC and the iSCSI-like block protocol."""
+
+from repro.net.iscsi import (
+    IscsiInitiator,
+    IscsiSession,
+    IscsiTargetServer,
+    SessionError,
+    StorageVolume,
+)
+from repro.net.network import Message, NetNode, Network
+from repro.net.rpc import RemoteError, RpcClient, RpcServer, RpcTimeout
+
+__all__ = [
+    "IscsiInitiator",
+    "IscsiSession",
+    "IscsiTargetServer",
+    "Message",
+    "NetNode",
+    "Network",
+    "RemoteError",
+    "RpcClient",
+    "RpcServer",
+    "RpcTimeout",
+    "SessionError",
+    "StorageVolume",
+]

@@ -1,0 +1,197 @@
+"""A simulated iSCSI-like block protocol (§IV-B, §IV-D).
+
+EndPoints expose allocated storage spaces as *targets*; clients log in
+through an :class:`IscsiInitiator` and issue block I/O that travels the
+simulated network, is served by the backing simulated disk, and returns
+with realistic transfer delays.  A dead host or a removed target turns
+into :class:`SessionError` at the initiator — which is what triggers
+the ClientLib's automatic remount (§IV-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.disk.device import IoRequest, SimulatedDisk
+from repro.net.network import Network
+from repro.net.rpc import RemoteError, RpcClient, RpcServer, RpcTimeout
+from repro.sim import Event, Simulator
+
+__all__ = [
+    "IscsiInitiator",
+    "IscsiSession",
+    "IscsiTargetServer",
+    "SessionError",
+    "StorageVolume",
+]
+
+
+class SessionError(Exception):
+    """The session is unusable (host down, target gone, disk moved)."""
+
+
+@dataclass
+class StorageVolume:
+    """A slice of one disk exposed as a block target.
+
+    Covers the paper's three allocation granularities: a whole disk, a
+    partition, or a big file within a disk — all are (disk, offset,
+    length) ranges at this level.
+    """
+
+    volume_id: str
+    disk: SimulatedDisk
+    offset: int = 0
+    length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length is None:
+            self.length = self.disk.spec.capacity_bytes - self.offset
+        if self.offset < 0 or self.length <= 0:
+            raise ValueError("invalid volume geometry")
+
+    def submit(self, offset: int, size: int, is_read: bool) -> Event:
+        if offset < 0 or offset + size > self.length:
+            raise ValueError(
+                f"I/O beyond volume {self.volume_id!r}: "
+                f"offset={offset} size={size} length={self.length}"
+            )
+        return self.disk.submit(
+            IoRequest(offset=self.offset + offset, size=size, is_read=is_read)
+        )
+
+
+class IscsiTargetServer:
+    """The target side, embedded in a host's EndPoint."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str):
+        self.sim = sim
+        self.address = address
+        self.rpc = RpcServer(sim, network, address)
+        self._volumes: Dict[str, StorageVolume] = {}
+        self._sessions: Dict[int, str] = {}  # session id -> target name
+        self._session_ids = itertools.count(1)
+        self.rpc.register("iscsi.login", self._login)
+        self.rpc.register("iscsi.logout", self._logout)
+        self.rpc.register("iscsi.io", self._io)
+        self.rpc.register("iscsi.list_targets", self._list_targets)
+
+    # -- target management (called by the EndPoint) -------------------------
+
+    def expose(self, target_name: str, volume: StorageVolume) -> None:
+        if target_name in self._volumes:
+            raise ValueError(f"target {target_name!r} already exposed")
+        self._volumes[target_name] = volume
+
+    def withdraw(self, target_name: str) -> None:
+        self._volumes.pop(target_name, None)
+        stale = [s for s, t in self._sessions.items() if t == target_name]
+        for session_id in stale:
+            del self._sessions[session_id]
+
+    def exposed_targets(self) -> list:
+        return sorted(self._volumes)
+
+    # -- RPC handlers ---------------------------------------------------------
+
+    def _login(self, target_name: str) -> int:
+        if target_name not in self._volumes:
+            raise SessionError(f"no such target {target_name!r}")
+        session_id = next(self._session_ids)
+        self._sessions[session_id] = target_name
+        return session_id
+
+    def _logout(self, session_id: int) -> bool:
+        return self._sessions.pop(session_id, None) is not None
+
+    def _list_targets(self) -> list:
+        return self.exposed_targets()
+
+    def _io(self, session_id: int, offset: int, size: int, is_read: bool):
+        target_name = self._sessions.get(session_id)
+        if target_name is None:
+            raise SessionError(f"stale session {session_id}")
+        volume = self._volumes.get(target_name)
+        if volume is None:
+            raise SessionError(f"target {target_name!r} withdrawn")
+        service_time = yield volume.submit(offset, size, is_read)
+        return {"ok": True, "service_time": service_time}
+
+
+class IscsiSession:
+    """An initiator-side logged-in session."""
+
+    def __init__(self, initiator: "IscsiInitiator", host_address: str, target_name: str, session_id: int):
+        self.initiator = initiator
+        self.host_address = host_address
+        self.target_name = target_name
+        self.session_id = session_id
+        self.connected = True
+
+    def read(self, offset: int, size: int) -> Generator[Event, None, dict]:
+        return self._io(offset, size, is_read=True)
+
+    def write(self, offset: int, size: int) -> Generator[Event, None, dict]:
+        return self._io(offset, size, is_read=False)
+
+    def _io(self, offset: int, size: int, is_read: bool) -> Generator[Event, None, dict]:
+        if not self.connected:
+            raise SessionError("session closed")
+        request_size = 256 if is_read else 256 + size
+        response_size = 256 + size if is_read else 256
+        try:
+            result = yield from self.initiator.rpc.call(
+                self.host_address,
+                "iscsi.io",
+                self.session_id,
+                offset,
+                size,
+                is_read,
+                timeout=self.initiator.io_timeout,
+                request_size=request_size,
+                response_size=response_size,
+            )
+        except (RpcTimeout, RemoteError) as exc:
+            self.connected = False
+            raise SessionError(str(exc)) from exc
+        return result
+
+    def logout(self) -> Generator[Event, None, None]:
+        if not self.connected:
+            return
+        self.connected = False
+        try:
+            yield from self.initiator.rpc.call(
+                self.host_address, "iscsi.logout", self.session_id, timeout=2.0
+            )
+        except (RpcTimeout, RemoteError):
+            pass
+
+
+class IscsiInitiator:
+    """The client side: logs in to targets and issues block I/O."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        io_timeout: float = 10.0,
+    ):
+        self.sim = sim
+        self.address = address
+        self.io_timeout = io_timeout
+        self.rpc = RpcClient(sim, network, address)
+
+    def login(
+        self, host_address: str, target_name: str, timeout: float = 3.0
+    ) -> Generator[Event, None, IscsiSession]:
+        try:
+            session_id = yield from self.rpc.call(
+                host_address, "iscsi.login", target_name, timeout=timeout
+            )
+        except (RpcTimeout, RemoteError) as exc:
+            raise SessionError(str(exc)) from exc
+        return IscsiSession(self, host_address, target_name, session_id)

@@ -1,0 +1,135 @@
+"""A simulated data-center network.
+
+Message passing with configurable latency and (optional) per-message
+serialization delay.  Nodes are addressed by name; a crashed node
+silently drops traffic in both directions, and explicit partitions can
+sever pairs of nodes — enough to exercise heartbeat loss, failover and
+remount behaviour in the management stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.sim import Simulator, Store
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Message", "NetNode", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    src: str
+    dst: str
+    payload: Any
+    size: int = 0
+    sent_at: float = 0.0
+
+
+class NetNode:
+    """One addressable endpoint with an inbox."""
+
+    def __init__(self, sim: Simulator, address: str):
+        self.sim = sim
+        self.address = address
+        self.inbox: Store = Store(sim)
+        self.alive = True
+
+    def receive(self):
+        """Event yielding the next :class:`Message`."""
+        return self.inbox.get()
+
+
+class Network:
+    """Connects nodes; delivers messages with latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: Optional[RngRegistry] = None,
+        latency: float = 0.2e-3,
+        jitter: float = 0.05e-3,
+        bandwidth: float = 1.25e8,  # 1 GbE payload bytes/s
+    ):
+        self.sim = sim
+        self.latency = latency
+        self.jitter = jitter
+        self.bandwidth = bandwidth
+        self._rng = (rng or RngRegistry(0)).stream("network")
+        self._nodes: Dict[str, NetNode] = {}
+        self._partitions: Set[Tuple[str, str]] = set()
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.bytes_carried = 0
+
+    # -- membership ------------------------------------------------------
+
+    def add_node(self, address: str) -> NetNode:
+        if address in self._nodes:
+            raise ValueError(f"duplicate network address {address!r}")
+        node = NetNode(self.sim, address)
+        self._nodes[address] = node
+        return node
+
+    def node(self, address: str) -> NetNode:
+        return self._nodes[address]
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._nodes
+
+    def set_alive(self, address: str, alive: bool) -> None:
+        self._nodes[address].alive = alive
+
+    def is_alive(self, address: str) -> bool:
+        return address in self._nodes and self._nodes[address].alive
+
+    # -- partitions -----------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Block traffic between ``a`` and ``b`` (both directions)."""
+        self._partitions.add((min(a, b), max(a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard((min(a, b), max(a, b)))
+
+    def heal_all(self) -> None:
+        self._partitions.clear()
+
+    def _blocked(self, a: str, b: str) -> bool:
+        return (min(a, b), max(a, b)) in self._partitions
+
+    # -- transmission ------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 256) -> None:
+        """Fire-and-forget message; dropped if either side is down."""
+        if src not in self._nodes:
+            raise ValueError(f"unknown sender {src!r}")
+        if dst not in self._nodes:
+            self.dropped_count += 1
+            return
+        if not self._nodes[src].alive:
+            self.dropped_count += 1
+            return
+        message = Message(src=src, dst=dst, payload=payload, size=size, sent_at=self.sim.now)
+        delay = self.latency + size / self.bandwidth
+        if self.jitter > 0:
+            delay += self._rng.uniform(0, self.jitter)
+
+        def deliver() -> None:
+            node = self._nodes.get(dst)
+            if node is None or not node.alive or self._blocked(src, dst):
+                self.dropped_count += 1
+                return
+            if not self._nodes[src].alive:
+                # Sender died mid-flight; the packet is already on the
+                # wire, deliver it anyway (TCP would too).
+                pass
+            self.delivered_count += 1
+            self.bytes_carried += size
+            node.inbox.put(message)
+
+        if self._blocked(src, dst):
+            self.dropped_count += 1
+            return
+        self.sim.call_in(delay, deliver)

@@ -1,0 +1,146 @@
+"""Request/response RPC over the simulated network.
+
+Handlers may return either a plain value or a generator (a simulation
+process) whose return value becomes the response — so a handler can
+perform simulated disk I/O before replying.  Remote exceptions are
+re-raised at the caller as :class:`RemoteError`; lost messages surface
+as :class:`RpcTimeout`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.net.network import Message, Network
+from repro.sim import Event, Simulator
+
+__all__ = ["RemoteError", "RpcClient", "RpcServer", "RpcTimeout"]
+
+
+class RpcTimeout(Exception):
+    """No response arrived within the deadline."""
+
+
+class RemoteError(Exception):
+    """The remote handler raised; carries the original message."""
+
+
+_REQUEST = "rpc_request"
+_RESPONSE = "rpc_response"
+
+
+class RpcServer:
+    """Dispatches incoming requests on one network node."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        if address not in network:
+            network.add_node(address)
+        self._node = network.node(address)
+        self._handlers: Dict[str, Callable[..., Any]] = {}
+        self.requests_served = 0
+        sim.process(self._serve_loop())
+
+    def register(self, method: str, handler: Callable[..., Any]) -> None:
+        if method in self._handlers:
+            raise ValueError(f"handler for {method!r} already registered")
+        self._handlers[method] = handler
+
+    def _serve_loop(self) -> Generator[Event, Message, None]:
+        while True:
+            # Predicate get: responses and raw messages on the same node
+            # stay available for their own consumers.
+            message = yield self._node.inbox.get(
+                lambda m: isinstance(m.payload, dict)
+                and m.payload.get("kind") == _REQUEST
+            )
+            self.sim.process(self._handle(message, message.payload))
+
+    def _handle(self, message: Message, payload: dict) -> Generator[Event, Any, None]:
+        method = payload["method"]
+        request_id = payload["id"]
+        response: Dict[str, Any] = {"kind": _RESPONSE, "id": request_id}
+        handler = self._handlers.get(method)
+        if handler is None:
+            response["error"] = f"no such method {method!r}"
+        else:
+            try:
+                result = handler(*payload.get("args", ()), **payload.get("kwargs", {}))
+                if hasattr(result, "send") and hasattr(result, "throw"):
+                    result = yield self.sim.process(result)
+                response["result"] = result
+            except Exception as exc:  # noqa: BLE001 - forwarded to caller
+                response["error"] = f"{type(exc).__name__}: {exc}"
+        self.requests_served += 1
+        self.network.send(
+            self.address, message.src, response, size=payload.get("response_size", 256)
+        )
+
+
+class RpcClient:
+    """Issues requests from one network node and matches responses."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str):
+        self.sim = sim
+        self.network = network
+        self.address = address
+        if address not in network:
+            network.add_node(address)
+        self._node = network.node(address)
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, Event] = {}
+        sim.process(self._response_loop())
+
+    def _response_loop(self) -> Generator[Event, Message, None]:
+        while True:
+            message = yield self._node.inbox.get(
+                lambda m: isinstance(m.payload, dict)
+                and m.payload.get("kind") == _RESPONSE
+            )
+            payload = message.payload
+            waiter = self._pending.pop(payload["id"], None)
+            if waiter is None or waiter.triggered:
+                continue  # response after timeout: drop
+            if "error" in payload:
+                waiter.fail(RemoteError(payload["error"]))
+            else:
+                waiter.succeed(payload.get("result"))
+
+    def call(
+        self,
+        target: str,
+        method: str,
+        *args: Any,
+        timeout: float = 5.0,
+        request_size: int = 256,
+        response_size: int = 256,
+        **kwargs: Any,
+    ) -> Generator[Event, Any, Any]:
+        """Generator process performing one call; yields the result.
+
+        Use as ``result = yield sim.process(client.call(...))`` or
+        ``yield from`` inside another process.
+        """
+        request_id = next(self._ids)
+        payload = {
+            "kind": _REQUEST,
+            "id": request_id,
+            "method": method,
+            "args": args,
+            "kwargs": kwargs,
+            "response_size": response_size,
+        }
+        waiter = self.sim.event()
+        self._pending[request_id] = waiter
+        self.network.send(self.address, target, payload, size=request_size)
+        deadline = self.sim.timeout(timeout)
+        result = yield self.sim.any_of([waiter, deadline])
+        if not waiter.triggered:
+            self._pending.pop(request_id, None)
+            raise RpcTimeout(f"{method} to {target} timed out after {timeout}s")
+        if not waiter.ok:
+            raise waiter.value
+        return waiter.value

@@ -1,0 +1,72 @@
+"""Whole-deployment power metering.
+
+Samples instantaneous power of a running deployment (disks in their
+current spin states, the fabric with its power gating, fans, host
+adapters, PSU loss) into a time series for energy integration.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.cluster.deployment import Deployment
+from repro.fabric.power import FabricPowerModel
+from repro.power.systems import (
+    FAN_COUNT,
+    FAN_POWER,
+    PSU_EFFICIENCY,
+    USB_HOST_ADAPTER_COUNT,
+    USB_HOST_ADAPTER_POWER,
+)
+from repro.sim import Event, TimeSeries
+
+__all__ = ["PowerMeter"]
+
+
+class PowerMeter:
+    """Periodic power sampling over a deployment."""
+
+    def __init__(self, deployment: Deployment, interval: float = 1.0):
+        self.deployment = deployment
+        self.interval = interval
+        self.series = TimeSeries("wall_power_watts")
+        self.fabric_model = FabricPowerModel(deployment.fabric)
+        self._process = None
+
+    def instantaneous_watts(self) -> float:
+        """Wall power right now."""
+        disks = sum(
+            disk.power_draw(disk.default_power_profile())
+            for disk in self.deployment.disks.values()
+        )
+        # Keep the fabric gating model in sync with relay state.
+        for disk_id, powered in self.deployment.relays.closed.items():
+            self.fabric_model.powered[disk_id] = powered
+            bridge = f"bridge{disk_id[len('disk'):]}"
+            if bridge in self.fabric_model.powered:
+                self.fabric_model.powered[bridge] = powered
+        dc_total = (
+            disks
+            + self.fabric_model.total_power()
+            + FAN_POWER * FAN_COUNT
+            + USB_HOST_ADAPTER_POWER * USB_HOST_ADAPTER_COUNT
+        )
+        return dc_total / PSU_EFFICIENCY
+
+    def start(self) -> None:
+        if self._process is not None:
+            return
+        sim = self.deployment.sim
+
+        def loop() -> Generator[Event, None, None]:
+            while True:
+                self.series.sample(sim.now, self.instantaneous_watts())
+                yield sim.timeout(self.interval)
+
+        self._process = sim.process(loop())
+
+    def energy_joules(self, end_time: Optional[float] = None) -> float:
+        end = end_time if end_time is not None else self.deployment.sim.now
+        return self.series.time_weighted_mean(end) * (
+            end - (self.series.times[0] if self.series.times else 0.0)
+        )

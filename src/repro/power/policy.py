@@ -1,0 +1,90 @@
+"""Spin-down policies (§IV-F) as standalone, ablatable strategies.
+
+UStore's default policy spins a disk down after a fixed idle interval,
+and doubles that interval for disks observed to thrash (spin up and
+down too frequently).  Upper-layer services with better knowledge of
+their workload can replace it entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List
+
+from repro.disk.device import SimulatedDisk
+from repro.disk.states import DiskPowerState
+from repro.sim import Event, Simulator
+
+__all__ = ["AdaptiveTimeoutPolicy", "FixedTimeoutPolicy", "run_policy"]
+
+
+@dataclass
+class FixedTimeoutPolicy:
+    """Spin down after a constant idle interval."""
+
+    idle_timeout: float = 300.0
+
+    def timeout_for(self, disk_id: str) -> float:
+        return self.idle_timeout
+
+    def on_spin_up(self, disk_id: str, now: float) -> None:
+        """Fixed policy ignores wake-ups."""
+
+
+@dataclass
+class AdaptiveTimeoutPolicy:
+    """§IV-F: double a disk's idle timeout when it thrashes.
+
+    A disk that spins up more than ``thrash_limit`` times within
+    ``thrash_window`` seconds gets its idle timeout doubled (capped at
+    ``max_timeout``), trading a little idle power for far fewer
+    mechanical spin cycles.
+    """
+
+    idle_timeout: float = 300.0
+    thrash_limit: int = 3
+    thrash_window: float = 3600.0
+    max_timeout: float = 4 * 3600.0
+    _timeouts: Dict[str, float] = field(default_factory=dict)
+    _wakeups: Dict[str, List[float]] = field(default_factory=dict)
+
+    def timeout_for(self, disk_id: str) -> float:
+        return self._timeouts.get(disk_id, self.idle_timeout)
+
+    def on_spin_up(self, disk_id: str, now: float) -> None:
+        events = self._wakeups.setdefault(disk_id, [])
+        events.append(now)
+        cutoff = now - self.thrash_window
+        events[:] = [t for t in events if t >= cutoff]
+        if len(events) > self.thrash_limit:
+            current = self.timeout_for(disk_id)
+            self._timeouts[disk_id] = min(current * 2, self.max_timeout)
+            events.clear()
+
+
+def run_policy(
+    sim: Simulator,
+    disks: Dict[str, SimulatedDisk],
+    policy,
+    check_interval: float = 10.0,
+) -> "Event":
+    """Drive a spin-down policy over ``disks`` as a simulation process.
+
+    Returns the (never-ending) policy process; cancel by interrupting.
+    """
+
+    def loop() -> Generator[Event, None, None]:
+        spin_counts = {d: disk.states.spin_up_count for d, disk in disks.items()}
+        while True:
+            yield sim.timeout(check_interval)
+            for disk_id, disk in disks.items():
+                # Detect wake-ups since the last check for adaptivity.
+                if disk.states.spin_up_count > spin_counts[disk_id]:
+                    spin_counts[disk_id] = disk.states.spin_up_count
+                    policy.on_spin_up(disk_id, sim.now)
+                if disk.power_state is not DiskPowerState.IDLE:
+                    continue
+                if sim.now - disk.idle_since >= policy.timeout_for(disk_id):
+                    disk.spin_down()
+
+    return sim.process(loop())

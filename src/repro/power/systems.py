@@ -1,0 +1,108 @@
+"""System-level power comparison (§VII-C, Table V).
+
+Computes the amortized power of a 16-disk unit for three systems in the
+two archival states the paper compares:
+
+* **spinning** — disks serving read/write;
+* **powered off** — disks (and what can be gated) powered down.
+
+UStore and Pergamum are composed from measured component numbers
+(Tables III/IV, §VII-C and the Pergamum estimates in the text); the
+EMC DD860/ES30 rows are the published measurements the paper quotes
+from [33].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.specs import TOSHIBA_POWER_SATA, TOSHIBA_POWER_USB
+from repro.fabric.power import FabricPowerModel
+from repro.fabric.topology import Fabric
+
+__all__ = [
+    "PowerBreakdown",
+    "dd860_power",
+    "pergamum_power",
+    "ustore_power",
+]
+
+#: §VII-C constants.
+FAN_POWER = 1.0  # W each
+FAN_COUNT = 6
+USB_HOST_ADAPTER_POWER = 2.5  # W each
+USB_HOST_ADAPTER_COUNT = 4
+PSU_EFFICIENCY = 0.90  # "90plus" supply
+
+#: Pergamum per-tome estimates from the text.
+PERGAMUM_ARM_ACTIVE = 2.5
+PERGAMUM_ARM_IDLE = 0.8
+PERGAMUM_ETHERNET_ACTIVE = 1.5
+PERGAMUM_ETHERNET_IDLE = 0.5
+
+#: EMC DD860/ES30 (15 disks), quoted from Li et al. [33] via Table V.
+DD860_SPINNING = 222.5
+DD860_POWERED_OFF = 83.5
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Watts at the wall, with the pre-PSU component subtotal."""
+
+    disks: float
+    interconnect: float
+    fans: float
+    adapters: float
+
+    @property
+    def dc_total(self) -> float:
+        return self.disks + self.interconnect + self.fans + self.adapters
+
+    @property
+    def wall_total(self) -> float:
+        return self.dc_total / PSU_EFFICIENCY
+
+
+def ustore_power(fabric: Fabric, spinning: bool, num_disks: int = 16) -> PowerBreakdown:
+    """UStore unit power from its component models."""
+    fabric_model = FabricPowerModel(fabric)
+    if spinning:
+        disks = num_disks * TOSHIBA_POWER_USB.active
+        interconnect = fabric_model.total_power()
+    else:
+        # Relays cut the enclosures (disk + bridge), and the hosts cut
+        # power to the fabric's hub subtrees as well (§VII-C: "hosts can
+        # directly cut the power to the root hubs").
+        disks = 0.0
+        for node_id in fabric_model.powered:
+            kind = fabric.node(node_id).kind.value
+            if kind in ("disk", "bridge", "hub"):
+                fabric_model.set_powered(node_id, False)
+        interconnect = fabric_model.total_power()  # switches only
+    return PowerBreakdown(
+        disks=disks,
+        interconnect=interconnect,
+        fans=FAN_POWER * FAN_COUNT,
+        adapters=USB_HOST_ADAPTER_POWER * USB_HOST_ADAPTER_COUNT,
+    )
+
+
+def pergamum_power(spinning: bool, num_disks: int = 16) -> PowerBreakdown:
+    """Pergamum tomes (no NVRAM), same disks/fans/supply as UStore."""
+    if spinning:
+        disks = num_disks * TOSHIBA_POWER_SATA.active
+        interconnect = num_disks * (PERGAMUM_ARM_ACTIVE + PERGAMUM_ETHERNET_ACTIVE)
+    else:
+        disks = 0.0
+        interconnect = num_disks * (PERGAMUM_ARM_IDLE + PERGAMUM_ETHERNET_IDLE)
+    return PowerBreakdown(
+        disks=disks,
+        interconnect=interconnect,
+        fans=FAN_POWER * FAN_COUNT,
+        adapters=0.0,
+    )
+
+
+def dd860_power(spinning: bool) -> float:
+    """Published DD860/ES30 wall power (15 disks)."""
+    return DD860_SPINNING if spinning else DD860_POWERED_OFF

@@ -1,0 +1,27 @@
+"""Reliability studies: availability, fabric-assisted rebuild, scrubbing."""
+
+from repro.reliability.availability import (
+    ArchitectureResult,
+    AvailabilityStudy,
+    StudyParams,
+)
+from repro.reliability.reconstruction import (
+    RebuildDrill,
+    RebuildEstimate,
+    fabric_assisted_rebuild,
+    network_rebuild,
+)
+from repro.reliability.scrubbing import LatentErrorModel, MediaError, Scrubber
+
+__all__ = [
+    "ArchitectureResult",
+    "AvailabilityStudy",
+    "LatentErrorModel",
+    "MediaError",
+    "RebuildDrill",
+    "RebuildEstimate",
+    "Scrubber",
+    "StudyParams",
+    "fabric_assisted_rebuild",
+    "network_rebuild",
+]

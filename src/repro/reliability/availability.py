@@ -1,0 +1,167 @@
+"""Monte-Carlo availability study: single-attached JBOD vs UStore.
+
+The paper argues (§I, §III-A) that the single point of failure in a
+hub-tree or Backblaze-style pod is costly: when the host dies, *all* of
+its disks are unreachable until the host is repaired, and software
+redundancy must rebuild or the data waits.  UStore's reconfigurable
+fabric turns the same event into a seconds-long switch-over.
+
+This module quantifies that argument: it simulates years of host
+failures (exponential inter-arrival, MTTF ≈ 3.4 months per §IV-E) and
+repairs, and integrates disk-unavailability time under two
+architectures:
+
+* ``single_attached`` — disks are pinned to one host; unavailable for
+  the whole host repair time;
+* ``ustore`` — disks are switched to surviving hosts after the failover
+  delay; only if every host of the unit is simultaneously down do the
+  disks wait for a repair.
+
+The result is expressed as disk-downtime hours per disk-year and as an
+availability fraction ("nines").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.injector import HOST_MTTF
+from repro.sim.rng import RngRegistry
+
+__all__ = ["ArchitectureResult", "AvailabilityStudy", "StudyParams"]
+
+HOUR = 3600.0
+YEAR = 365.0 * 24 * HOUR
+
+
+@dataclass(frozen=True)
+class StudyParams:
+    """Knobs of the availability study."""
+
+    num_hosts: int = 4
+    disks_per_host: int = 4
+    host_mttf: float = HOST_MTTF
+    # Mean time to repair a crashed host (reimage/replace): 2 hours.
+    host_mttr: float = 2 * HOUR
+    # UStore failover delay per host failure (the paper's 5.8 s).
+    failover_seconds: float = 5.8
+    horizon_years: float = 100.0
+    trials: int = 20
+
+
+@dataclass(frozen=True)
+class ArchitectureResult:
+    """Aggregated unavailability for one architecture."""
+
+    name: str
+    disk_downtime_hours_per_disk_year: float
+    availability: float
+    host_failures_per_year: float
+
+    @property
+    def nines(self) -> float:
+        """-log10 of the unavailability (the classic 'nines' count)."""
+        unavailability = 1.0 - self.availability
+        if unavailability <= 0:
+            return float("inf")
+        return -math.log10(unavailability)
+
+
+class AvailabilityStudy:
+    """Runs both architectures over identical failure traces."""
+
+    def __init__(self, params: StudyParams = StudyParams(), seed: int = 1):
+        self.params = params
+        self._rng = RngRegistry(seed).stream("availability")
+
+    # -- failure trace ------------------------------------------------------
+
+    def _exponential(self, mean: float) -> float:
+        return -mean * math.log(1.0 - self._rng.random())
+
+    def _host_trace(self, horizon: float) -> List[Tuple[float, float]]:
+        """(failure_time, repair_duration) events for one host."""
+        events: List[Tuple[float, float]] = []
+        t = self._exponential(self.params.host_mttf)
+        while t < horizon:
+            repair = self._exponential(self.params.host_mttr)
+            events.append((t, repair))
+            t += repair + self._exponential(self.params.host_mttf)
+        return events
+
+    # -- architectures -------------------------------------------------------
+
+    def _downtime_single_attached(
+        self, traces: List[List[Tuple[float, float]]]
+    ) -> float:
+        """Disk-seconds of unavailability: disks wait for host repair."""
+        total = 0.0
+        for host_events in traces:
+            for _, repair in host_events:
+                total += repair * self.params.disks_per_host
+        return total
+
+    def _downtime_ustore(self, traces: List[List[Tuple[float, float]]]) -> float:
+        """Disks move to survivors after the failover delay.
+
+        While k >= 1 hosts are down simultaneously, their disks are down
+        only for the failover window — unless *all* hosts are down, in
+        which case everything waits for the first repair.
+        """
+        params = self.params
+        # Build a merged timeline of (time, host, up/down) transitions.
+        transitions: List[Tuple[float, int, int]] = []
+        for host, events in enumerate(traces):
+            for start, repair in events:
+                transitions.append((start, host, -1))
+                transitions.append((start + repair, host, +1))
+        transitions.sort()
+        up = params.num_hosts
+        total = 0.0
+        all_down_since: Optional[float] = None
+        for time, _host, delta in transitions:
+            if delta < 0:
+                up -= 1
+                # The failing host's disks pay the failover window if
+                # anyone survives to adopt them.
+                if up >= 1:
+                    total += params.failover_seconds * params.disks_per_host
+                else:
+                    all_down_since = time
+            else:
+                if up == 0 and all_down_since is not None:
+                    # Total blackout ends: every disk waited it out.
+                    blackout = time - all_down_since
+                    total += blackout * params.num_hosts * params.disks_per_host
+                    all_down_since = None
+                up += 1
+        return total
+
+    # -- public API --------------------------------------------------------------
+
+    def run(self) -> Dict[str, ArchitectureResult]:
+        params = self.params
+        horizon = params.horizon_years * YEAR
+        downtime = {"single_attached": 0.0, "ustore": 0.0}
+        failures = 0
+        for _ in range(params.trials):
+            traces = [self._host_trace(horizon) for _ in range(params.num_hosts)]
+            failures += sum(len(t) for t in traces)
+            downtime["single_attached"] += self._downtime_single_attached(traces)
+            downtime["ustore"] += self._downtime_ustore(traces)
+        disk_years = (
+            params.trials * params.num_hosts * params.disks_per_host * params.horizon_years
+        )
+        total_disk_seconds = disk_years * YEAR
+        results = {}
+        for name, seconds in downtime.items():
+            results[name] = ArchitectureResult(
+                name=name,
+                disk_downtime_hours_per_disk_year=seconds / HOUR / disk_years,
+                availability=1.0 - seconds / total_disk_seconds,
+                host_failures_per_year=failures
+                / (params.trials * params.num_hosts * params.horizon_years),
+            )
+        return results

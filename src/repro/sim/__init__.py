@@ -1,0 +1,24 @@
+"""Deterministic discrete-event simulation kernel for the UStore repro."""
+
+from repro.sim.kernel import Event, Interrupt, SimulationError, Simulator, Timeout
+from repro.sim.process import Process
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Counter, TimeSeries, TraceRecord, Tracer
+
+__all__ = [
+    "Container",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "TimeSeries",
+    "TraceRecord",
+    "Tracer",
+    "Timeout",
+]

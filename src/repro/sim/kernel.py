@@ -1,0 +1,316 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a deterministic event loop: callbacks are ordered by
+(time, priority, sequence number), so two simulations configured with the
+same seeds replay identically.  Generator-based processes are layered on
+top in :mod:`repro.sim.process`.
+
+This module is self-contained and has no dependencies outside the
+standard library; every other ``repro`` subsystem is built on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = [
+    "Event",
+    "Interrupt",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event priorities: lower sorts first at equal timestamps.
+URGENT = 0
+NORMAL = 1
+LOW = 2
+
+
+@dataclass(order=True)
+class _ScheduledItem:
+    time: float
+    priority: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when it is scheduled
+    to fire, and *processed* once its callbacks have run.  Processes wait
+    on events by yielding them; arbitrary callbacks can also subscribe.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._processed and not self._triggered:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0, priority: int = NORMAL) -> "Event":
+        """Schedule this event to fire successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._push(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0, priority: int = NORMAL) -> "Event":
+        """Schedule this event to fire with an exception.
+
+        A failed event raises ``exception`` inside every process waiting
+        on it.  If nothing waits, the simulator surfaces the exception at
+        processing time unless :meth:`defuse` was called.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exception
+        self._ok = False
+        self.sim._push(self, delay, priority)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled even if nobody waits on it."""
+        self._defused = True
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for callback in callbacks or ():
+            callback(self)
+        if not self._ok and not self._defused:
+            raise self._value
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._push(self, delay, NORMAL)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.process(my_generator_function(sim))
+        sim.run(until=100.0)
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list[_ScheduledItem] = []
+        self._seq = itertools.count()
+        self._active = True
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event creation ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def call_at(self, time: float, fn: Callable[[], None], priority: int = NORMAL) -> Event:
+        """Run ``fn()`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self._now}")
+        return self.call_in(time - self._now, fn, priority)
+
+    def call_in(self, delay: float, fn: Callable[[], None], priority: int = NORMAL) -> Event:
+        """Run ``fn()`` after ``delay`` seconds of simulated time."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _ev: fn())
+        return event
+
+    def process(self, generator: Iterator[Event]) -> "Process":
+        """Start a generator-based process (see :mod:`repro.sim.process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: list[Event]) -> Event:
+        """Event that fires once every event in ``events`` has fired."""
+        gate = self.event()
+        remaining = len(events)
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+        results: list[Any] = [None] * remaining
+        state = {"left": remaining, "failed": False}
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def on_fire(ev: Event) -> None:
+                if state["failed"]:
+                    return
+                if not ev.ok:
+                    state["failed"] = True
+                    ev.defuse()
+                    if not gate.triggered:
+                        gate.fail(ev.value)
+                    return
+                results[index] = ev.value
+                state["left"] -= 1
+                if state["left"] == 0 and not gate.triggered:
+                    gate.succeed(list(results))
+
+            return on_fire
+
+        for i, ev in enumerate(events):
+            if ev.processed:
+                make_callback(i)(ev)
+            else:
+                ev.callbacks.append(make_callback(i))
+        return gate
+
+    def any_of(self, events: list[Event]) -> Event:
+        """Event that fires as soon as any event in ``events`` fires."""
+        gate = self.event()
+        if not events:
+            gate.succeed(None)
+            return gate
+
+        def on_fire(ev: Event) -> None:
+            if gate.triggered:
+                if not ev.ok:
+                    ev.defuse()
+                return
+            if ev.ok:
+                gate.succeed(ev.value)
+            else:
+                ev.defuse()
+                gate.fail(ev.value)
+
+        for ev in events:
+            if ev.processed:
+                on_fire(ev)
+            else:
+                ev.callbacks.append(on_fire)
+        return gate
+
+    # -- scheduling internals -------------------------------------------
+
+    def _push(self, event: Event, delay: float, priority: int) -> None:
+        heapq.heappush(
+            self._queue,
+            _ScheduledItem(self._now + delay, priority, next(self._seq), event),
+        )
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        item = heapq.heappop(self._queue)
+        self._now = item.time
+        item.event._process()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0].time if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        Returns the simulated time at which the run stopped.  The
+        ``max_events`` guard turns accidental infinite event loops into a
+        loud error instead of a hang.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self._now = until
+                return self._now
+            self.step()
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; possible runaway event loop"
+                )
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises :class:`SimulationError` if the queue drains or ``limit``
+        is reached before the event fires.
+        """
+        while not event.processed:
+            if not self._queue:
+                raise SimulationError("event queue drained before target event fired")
+            if self._queue[0].time > limit:
+                raise SimulationError(f"time limit {limit} reached before target event fired")
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value

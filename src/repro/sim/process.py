@@ -1,0 +1,107 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.kernel.Event`
+objects.  Yielding an event suspends the process until the event fires;
+the event's value becomes the result of the ``yield`` expression.  A
+failed event re-raises its exception inside the generator, so processes
+handle simulated failures with ordinary ``try``/``except``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.sim.kernel import Event, Interrupt, SimulationError, Simulator, URGENT
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The event value is the generator's return value, so one process can
+    wait for another simply by yielding it::
+
+        result = yield sim.process(child(sim))
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(self, sim: Simulator, generator: Iterator[Event], name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process requires a generator, got {type(generator)!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the generator at the current time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed(priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it resumes queues both interrupts.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self._waiting_on is not None:
+            waited, self._waiting_on = self._waiting_on, None
+            if not waited.processed and waited.callbacks is not None:
+                try:
+                    waited.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        poke = Event(self.sim)
+        poke.callbacks.append(self._resume)
+        poke.fail(Interrupt(cause), priority=URGENT)
+        poke.defuse()
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self._triggered:
+                self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            # Tear down the generator so the error points at the culprit.
+            self.generator.close()
+            bad = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+            if not self._triggered:
+                self.fail(bad)
+            return
+        if target.processed:
+            # Already fired: resume immediately (still via the queue for
+            # deterministic ordering at this timestamp).
+            relay = Event(self.sim)
+            relay.callbacks.append(self._resume)
+            if target.ok:
+                relay.succeed(target.value, priority=URGENT)
+            else:
+                relay.fail(target.value, priority=URGENT)
+                relay.defuse()
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            # A waiting process handles the failure, so the kernel must
+            # not also surface it at processing time.
+            target.defuse()

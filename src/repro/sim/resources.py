@@ -1,0 +1,173 @@
+"""Shared-resource primitives for simulation processes.
+
+Provides the classic trio:
+
+* :class:`Resource` — a capacity-limited server with a FIFO queue.
+* :class:`Store` — a buffer of Python objects (used for mailboxes).
+* :class:`Container` — a continuous quantity (used for power budgets).
+
+All requests are events, so processes compose them with timeouts via
+``Simulator.any_of`` for bounded waits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+__all__ = ["Container", "Resource", "Store"]
+
+
+class Resource:
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.users = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Event that fires once a slot is held.  Pair with :meth:`release`."""
+        event = self.sim.event()
+        if self.users < self.capacity:
+            self.users += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Give back one slot, waking the next waiter if any."""
+        if self.users <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self.users -= 1
+
+    def cancel(self, request_event: Event) -> bool:
+        """Withdraw a still-queued request; returns False if already granted."""
+        try:
+            self._waiters.remove(request_event)
+            return True
+        except ValueError:
+            return False
+
+
+class Store:
+    """An unbounded (or bounded) buffer of items; FIFO on both sides."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` is accepted into the store."""
+        event = self.sim.event()
+        if self._getters:
+            matched = self._dispatch_to_getter(item)
+            if matched:
+                event.succeed()
+                return event
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Event that fires with the next item (matching ``predicate`` if given)."""
+        event = self.sim.event()
+        item = self._take_matching(predicate)
+        if item is not _NOTHING:
+            event.succeed(item)
+            self._admit_putter()
+        else:
+            self._getters.append((event, predicate))
+        return event
+
+    def _take_matching(self, predicate: Optional[Callable[[Any], bool]]) -> Any:
+        if predicate is None:
+            return self.items.popleft() if self.items else _NOTHING
+        for i, item in enumerate(self.items):
+            if predicate(item):
+                del self.items[i]
+                return item
+        return _NOTHING
+
+    def _dispatch_to_getter(self, item: Any) -> bool:
+        for i, (event, predicate) in enumerate(self._getters):
+            if predicate is None or predicate(item):
+                del self._getters[i]
+                event.succeed(item)
+                return True
+        return False
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed()
+
+
+_NOTHING = object()
+
+
+class Container:
+    """A continuous quantity with blocking get/put."""
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), init: float = 0.0):
+        if init < 0 or init > capacity:
+            raise SimulationError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self.level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError(f"negative get amount {amount}")
+        event = self.sim.event()
+        self._getters.append((event, amount))
+        self._drain()
+        return event
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError(f"negative put amount {amount}")
+        event = self.sim.event()
+        self._putters.append((event, amount))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and self.level + self._putters[0][1] <= self.capacity:
+                event, amount = self._putters.popleft()
+                self.level += amount
+                event.succeed()
+                progressed = True
+            if self._getters and self.level >= self._getters[0][1]:
+                event, amount = self._getters.popleft()
+                self.level -= amount
+                event.succeed()
+                progressed = True

@@ -1,0 +1,17 @@
+"""Simulated USB stack: per-host trees, hot-plug, enumeration, quirks."""
+
+from repro.usbsim.bus import HostUsbListener, HotplugEvent, UsbBus
+from repro.usbsim.params import UsbQuirks, UsbTimingParams
+from repro.usbsim.tree import UsbTreeNode, render_tree, usb_tree_view, visible_disks
+
+__all__ = [
+    "HostUsbListener",
+    "HotplugEvent",
+    "UsbBus",
+    "UsbQuirks",
+    "UsbTimingParams",
+    "UsbTreeNode",
+    "render_tree",
+    "usb_tree_view",
+    "visible_disks",
+]

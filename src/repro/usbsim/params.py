@@ -1,0 +1,44 @@
+"""Timing and quirk parameters of the simulated USB stack.
+
+Calibrated so the switching-time decomposition of Figure 6 and the
+5.8 s single-host failover of §I come out of the simulation:
+
+* detaching a disk is quick (the old host notices the port drop after a
+  short debounce);
+* attaching is slow: the new host's driver performs a bus reset, then
+  enumerates devices one at a time — which is why the paper's part-1
+  delay grows with the number of disks switched together;
+* the Intel xHCI quirk (§V-B) caps usable devices per root port at ~15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["UsbQuirks", "UsbTimingParams"]
+
+
+@dataclass(frozen=True)
+class UsbTimingParams:
+    """Seconds, calibrated to the prototype's Figure 6 measurements."""
+
+    detach_debounce: float = 0.15
+    # First device of a batch pays the bus reset + driver settle.
+    attach_base: float = 1.30
+    # Each device (bridge+disk identity) enumerates serially.
+    enumerate_per_device: float = 0.45
+    # Uniform jitter fraction applied to enumeration times.
+    jitter: float = 0.08
+
+
+@dataclass(frozen=True)
+class UsbQuirks:
+    """Implementation wrinkles observed on the prototype (§V-B)."""
+
+    # Intel xHCI root hub driver recognizes at most ~15 devices.
+    max_devices_per_port: int = 15
+    # Probability that a switch-over is not detected and the device
+    # needs a power cycle (0 keeps experiments deterministic).
+    undetected_switch_probability: float = 0.0
+    # Extra delay when a power cycle is required.
+    power_cycle_delay: float = 4.0

@@ -1,0 +1,115 @@
+"""Per-host USB tree views (the simulated ``lsusb -t``).
+
+The EndPoint's USB Monitor reports these trees to the Controller, which
+combines the non-overlapping per-host views into its picture of the
+whole fabric (§IV-B, §IV-E).  Switches and bridges do not appear as
+distinct devices: a switch is electrically transparent and a bridge
+presents as the disk's mass-storage identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fabric.components import NodeKind
+from repro.fabric.topology import Fabric
+
+__all__ = ["UsbTreeNode", "usb_tree_view", "render_tree"]
+
+
+@dataclass
+class UsbTreeNode:
+    """One visible USB device in a host's tree."""
+
+    node_id: str
+    kind: str  # "root", "hub" or "disk"
+    children: List["UsbTreeNode"] = field(default_factory=list)
+
+    def device_count(self) -> int:
+        """Devices in this subtree, itself included (roots excluded)."""
+        own = 0 if self.kind == "root" else 1
+        return own + sum(child.device_count() for child in self.children)
+
+    def find(self, node_id: str) -> Optional["UsbTreeNode"]:
+        if self.node_id == node_id:
+            return self
+        for child in self.children:
+            found = child.find(node_id)
+            if found is not None:
+                return found
+        return None
+
+    def disks(self) -> List[str]:
+        result = []
+        if self.kind == "disk":
+            result.append(self.node_id)
+        for child in self.children:
+            result.extend(child.disks())
+        return result
+
+
+def usb_tree_view(fabric: Fabric, host_id: str) -> List[UsbTreeNode]:
+    """The USB trees a host currently sees, one per root port.
+
+    Only components whose active route reaches the port are visible;
+    failed components and everything below them disappear (exactly what
+    ``lsusb -t`` would show after a hub dies).
+    """
+    trees: List[UsbTreeNode] = []
+    for port in fabric.ports_of_host(host_id):
+        if port.failed:
+            continue
+        root = UsbTreeNode(node_id=port.node_id, kind="root")
+        _grow(fabric, port.node_id, root)
+        trees.append(root)
+    return trees
+
+
+def _grow(fabric: Fabric, node_id: str, parent_view: UsbTreeNode) -> None:
+    for child_id in fabric.downstreams(node_id):
+        child = fabric.node(child_id)
+        if child.failed:
+            continue
+        if child.kind is NodeKind.SWITCH:
+            # Transparent: descend only when the switch routes here.
+            if fabric.active_upstream(child_id) == node_id:
+                _grow(fabric, child_id, parent_view)
+        elif child.kind is NodeKind.HUB:
+            view = UsbTreeNode(node_id=child_id, kind="hub")
+            parent_view.children.append(view)
+            _grow(fabric, child_id, view)
+        elif child.kind is NodeKind.BRIDGE:
+            # The bridge presents the disk as one mass-storage device.
+            disk_ids = [
+                d
+                for d in fabric.downstreams(child_id)
+                if fabric.node(d).kind is NodeKind.DISK and not fabric.node(d).failed
+            ]
+            for disk_id in disk_ids:
+                parent_view.children.append(UsbTreeNode(node_id=disk_id, kind="disk"))
+
+
+def render_tree(trees: List[UsbTreeNode]) -> str:
+    """Human-readable rendering in the spirit of ``lsusb -t``."""
+    lines: List[str] = []
+
+    def walk(node: UsbTreeNode, depth: int) -> None:
+        label = {"root": "Root", "hub": "Hub", "disk": "MassStorage"}[node.kind]
+        lines.append("    " * depth + f"|__ {label} {node.node_id}")
+        for child in node.children:
+            walk(child, depth + 1)
+
+    for tree in trees:
+        lines.append(f"/: Bus {tree.node_id}")
+        for child in tree.children:
+            walk(child, 1)
+    return "\n".join(lines)
+
+
+def visible_disks(fabric: Fabric, host_id: str) -> List[str]:
+    """Disks a host would see after full enumeration."""
+    result: List[str] = []
+    for tree in usb_tree_view(fabric, host_id):
+        result.extend(tree.disks())
+    return result

@@ -1,0 +1,289 @@
+"""Integration tests for the replicated coordination service."""
+
+import pytest
+
+from repro.coord import CoordSession, Role, build_cluster
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def make_cluster(size=3, seed=1):
+    sim = Simulator()
+    net = Network(sim, jitter=0.0)
+    replicas = build_cluster(sim, net, size=size, rng=RngRegistry(seed))
+    return sim, net, replicas
+
+
+def leader_of(replicas):
+    leaders = [r for r in replicas if r.role is Role.LEADER and not r.crashed]
+    return leaders[-1] if leaders else None
+
+
+def run_session(sim, scenario):
+    return sim.run_until_event(sim.process(scenario))
+
+
+class TestElection:
+    def test_exactly_one_leader_emerges(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        leaders = [r for r in replicas if r.role is Role.LEADER]
+        assert len(leaders) == 1
+
+    def test_leader_survives_steady_state(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        first = leader_of(replicas)
+        sim.run(until=20.0)
+        assert leader_of(replicas) is first
+        assert first.current_epoch == leader_of(replicas).current_epoch
+
+    def test_new_leader_after_crash(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        old = leader_of(replicas)
+        old.crash()
+        sim.run(until=15.0)
+        new = leader_of(replicas)
+        assert new is not None and new is not old
+        assert new.current_epoch > old.current_epoch
+
+    def test_recovered_replica_rejoins_as_follower(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        old = leader_of(replicas)
+        old.crash()
+        sim.run(until=15.0)
+        old.recover()
+        sim.run(until=25.0)
+        assert old.role is not Role.LEADER
+        leaders = [r for r in replicas if r.role is Role.LEADER]
+        assert len(leaders) == 1
+
+    def test_five_node_cluster(self):
+        sim, net, replicas = make_cluster(size=5)
+        sim.run(until=5.0)
+        assert leader_of(replicas) is not None
+
+
+class TestReplication:
+    def test_write_then_read(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/config", data={"units": 1})
+            value = yield from session.get_data("/config")
+            return value
+
+        assert run_session(sim, scenario()) == {"units": 1}
+
+    def test_committed_state_on_all_replicas(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/x", data=42)
+
+        run_session(sim, scenario())
+        sim.run(until=sim.now + 2.0)  # let heartbeats propagate commits
+        for replica in replicas:
+            assert replica.tree.exists("/x"), replica.address
+            assert replica.tree.get_data("/x") == 42
+
+    def test_sequential_create_through_cluster(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/queue")
+            a = yield from session.create("/queue/n-", sequential=True)
+            b = yield from session.create("/queue/n-", sequential=True)
+            return (a, b)
+
+        a, b = run_session(sim, scenario())
+        assert a < b
+
+    def test_state_survives_leader_failover(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def write():
+            yield from session.start()
+            yield from session.create("/durable", data="precious")
+
+        run_session(sim, write())
+        sim.run(until=sim.now + 1.0)
+        leader_of(replicas).crash()
+        sim.run(until=sim.now + 10.0)
+
+        def read():
+            value = yield from session.get_data("/durable")
+            return value
+
+        assert run_session(sim, read()) == "precious"
+
+    def test_writes_work_after_failover(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+        run_session(sim, session.start())
+        leader_of(replicas).crash()
+        sim.run(until=sim.now + 10.0)
+
+        def write():
+            yield from session.create("/after", data=1)
+            value = yield from session.get_data("/after")
+            return value
+
+        assert run_session(sim, write()) == 1
+
+    def test_minority_crash_keeps_serving(self):
+        sim, net, replicas = make_cluster(size=5)
+        sim.run(until=5.0)
+        followers = [r for r in replicas if r.role is not Role.LEADER]
+        followers[0].crash()
+        followers[1].crash()
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/still-up", data=True)
+            result = yield from session.exists("/still-up")
+            return result
+
+        assert run_session(sim, scenario()) is True
+
+
+class TestEphemeralSessions:
+    def test_ephemeral_removed_on_expiry(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/hosts")
+            yield from session.create("/hosts/me", ephemeral=True)
+
+        run_session(sim, scenario())
+        leader = leader_of(replicas)
+        assert leader.tree.exists("/hosts/me")
+        # Silence the client: its pings stop reaching the cluster.
+        net.set_alive("client", False)
+        sim.run(until=sim.now + 10.0)
+        assert not leader_of(replicas).tree.exists("/hosts/me")
+
+    def test_live_session_keeps_ephemeral(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/hosts")
+            yield from session.create("/hosts/me", ephemeral=True)
+
+        run_session(sim, scenario())
+        sim.run(until=sim.now + 10.0)
+        assert leader_of(replicas).tree.exists("/hosts/me")
+
+    def test_ephemeral_survives_leader_failover_with_live_client(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        session = CoordSession(sim, net, "client", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/hosts")
+            yield from session.create("/hosts/me", ephemeral=True)
+
+        run_session(sim, scenario())
+        leader_of(replicas).crash()
+        sim.run(until=sim.now + 12.0)
+        assert leader_of(replicas).tree.exists("/hosts/me")
+
+
+class TestWatches:
+    def test_data_watch_fires_on_change(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        writer = CoordSession(sim, net, "writer", [r.address for r in replicas])
+        watcher = CoordSession(sim, net, "watcher", [r.address for r in replicas])
+        fired = []
+
+        def scenario():
+            yield from writer.start()
+            yield from watcher.start()
+            yield from writer.create("/watched", data=0)
+            yield from watcher.watch("/watched", lambda p, t: fired.append((p, t)))
+            yield from writer.set_data("/watched", 1)
+            yield sim.timeout(1.0)
+
+        run_session(sim, scenario())
+        assert fired == [("/watched", "changed")]
+
+    def test_watch_is_one_shot(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        writer = CoordSession(sim, net, "writer", [r.address for r in replicas])
+        watcher = CoordSession(sim, net, "watcher", [r.address for r in replicas])
+        fired = []
+
+        def scenario():
+            yield from writer.start()
+            yield from watcher.start()
+            yield from writer.create("/watched", data=0)
+            yield from watcher.watch("/watched", lambda p, t: fired.append(t))
+            yield from writer.set_data("/watched", 1)
+            yield sim.timeout(1.0)
+            yield from writer.set_data("/watched", 2)
+            yield sim.timeout(1.0)
+
+        run_session(sim, scenario())
+        assert fired == ["changed"]
+
+    def test_children_watch(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        writer = CoordSession(sim, net, "writer", [r.address for r in replicas])
+        watcher = CoordSession(sim, net, "watcher", [r.address for r in replicas])
+        fired = []
+
+        def scenario():
+            yield from writer.start()
+            yield from watcher.start()
+            yield from writer.create("/parent")
+            yield from watcher.watch(
+                "/parent", lambda p, t: fired.append((p, t)), kind="children"
+            )
+            yield from writer.create("/parent/kid")
+            yield sim.timeout(1.0)
+
+        run_session(sim, scenario())
+        assert fired == [("/parent", "created")]
+
+    def test_delete_fires_node_watch(self):
+        sim, net, replicas = make_cluster()
+        sim.run(until=5.0)
+        writer = CoordSession(sim, net, "writer", [r.address for r in replicas])
+        watcher = CoordSession(sim, net, "watcher", [r.address for r in replicas])
+        fired = []
+
+        def scenario():
+            yield from writer.start()
+            yield from watcher.start()
+            yield from writer.create("/doomed")
+            yield from watcher.watch("/doomed", lambda p, t: fired.append(t))
+            yield from writer.delete("/doomed")
+            yield sim.timeout(1.0)
+
+        run_session(sim, scenario())
+        assert fired == ["deleted"]

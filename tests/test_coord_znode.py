@@ -1,0 +1,146 @@
+"""Unit tests for the znode tree."""
+
+import pytest
+
+from repro.coord import (
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    ZnodeError,
+    ZnodeTree,
+)
+
+
+class TestBasicOps:
+    def test_root_exists(self):
+        tree = ZnodeTree()
+        assert tree.exists("/")
+
+    def test_create_and_get(self):
+        tree = ZnodeTree()
+        assert tree.create("/a", data=1) == "/a"
+        assert tree.get_data("/a") == 1
+
+    def test_nested_create(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        tree.create("/a/b", data="x")
+        assert tree.get_data("/a/b") == "x"
+        assert tree.get_children("/a") == ["b"]
+
+    def test_create_missing_parent(self):
+        tree = ZnodeTree()
+        with pytest.raises(NoNodeError):
+            tree.create("/a/b")
+
+    def test_create_duplicate(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        with pytest.raises(NodeExistsError):
+            tree.create("/a")
+
+    def test_relative_path_rejected(self):
+        tree = ZnodeTree()
+        with pytest.raises(ZnodeError):
+            tree.create("a")
+
+    def test_trailing_slash_rejected(self):
+        tree = ZnodeTree()
+        with pytest.raises(ZnodeError):
+            tree.exists("/a/")
+
+    def test_double_slash_rejected(self):
+        tree = ZnodeTree()
+        with pytest.raises(ZnodeError):
+            tree.exists("/a//b")
+
+    def test_get_missing(self):
+        tree = ZnodeTree()
+        with pytest.raises(NoNodeError):
+            tree.get_data("/missing")
+
+    def test_set_data_bumps_version(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        assert tree.set_data("/a", 1) == 1
+        assert tree.set_data("/a", 2) == 2
+        assert tree.get("/a").version == 2
+
+    def test_set_data_version_check(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        tree.set_data("/a", 1)
+        with pytest.raises(ZnodeError):
+            tree.set_data("/a", 2, expected_version=0)
+
+    def test_delete(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        tree.delete("/a")
+        assert not tree.exists("/a")
+
+    def test_delete_non_empty(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        tree.create("/a/b")
+        with pytest.raises(NotEmptyError):
+            tree.delete("/a")
+        tree.delete("/a", recursive=True)
+        assert not tree.exists("/a")
+
+    def test_delete_root_rejected(self):
+        tree = ZnodeTree()
+        with pytest.raises(ZnodeError):
+            tree.delete("/")
+
+    def test_children_sorted(self):
+        tree = ZnodeTree()
+        for name in ("c", "a", "b"):
+            tree.create(f"/{name}")
+        assert tree.get_children("/") == ["a", "b", "c"]
+
+
+class TestSequential:
+    def test_sequence_numbers(self):
+        tree = ZnodeTree()
+        tree.create("/locks")
+        first = tree.create("/locks/lock-", sequential=True)
+        second = tree.create("/locks/lock-", sequential=True)
+        assert first == "/locks/lock-0000000000"
+        assert second == "/locks/lock-0000000001"
+
+    def test_counter_is_per_parent(self):
+        tree = ZnodeTree()
+        tree.create("/a")
+        tree.create("/b")
+        assert tree.create("/a/n-", sequential=True).endswith("0000000000")
+        assert tree.create("/b/n-", sequential=True).endswith("0000000000")
+
+
+class TestEphemerals:
+    def test_ephemeral_ownership(self):
+        tree = ZnodeTree()
+        tree.create("/live", ephemeral_owner="s1")
+        assert tree.get("/live").is_ephemeral
+        assert tree.ephemeral_paths_of("s1") == ["/live"]
+
+    def test_ephemeral_cannot_have_children(self):
+        tree = ZnodeTree()
+        tree.create("/live", ephemeral_owner="s1")
+        with pytest.raises(ZnodeError):
+            tree.create("/live/child")
+
+    def test_delete_ephemerals_of_session(self):
+        tree = ZnodeTree()
+        tree.create("/hosts")
+        tree.create("/hosts/h1", ephemeral_owner="s1")
+        tree.create("/hosts/h2", ephemeral_owner="s2")
+        removed = tree.delete_ephemerals_of("s1")
+        assert removed == ["/hosts/h1"]
+        assert tree.exists("/hosts/h2")
+
+    def test_dump(self):
+        tree = ZnodeTree()
+        tree.create("/a", data=1)
+        tree.create("/a/b", data=2)
+        assert tree.dump() == {"/": None, "/a": 1, "/a/b": 2}

@@ -1,0 +1,214 @@
+"""Tests for the Algorithm 1 planner and fabric validation."""
+
+import pytest
+
+from repro.fabric import (
+    FabricError,
+    SwitchConflict,
+    dual_tree_fabric,
+    execute_plan,
+    plan_switches,
+    prototype_fabric,
+    ring_fabric,
+    validate_fabric,
+)
+
+
+class TestPlanSwitches:
+    def test_noop_command(self):
+        f = prototype_fabric()
+        host = f.attached_host("disk0")
+        plan = plan_switches(f, [("disk0", host)])
+        assert plan.is_noop
+
+    def test_empty_command(self):
+        f = prototype_fabric()
+        assert plan_switches(f, []).is_noop
+
+    def test_single_disk_move(self):
+        f = prototype_fabric()
+        # disk0 can move alone to host2: its alternate leaf hub's switch
+        # already points at roothub2, so only the disk switch turns.
+        plan = plan_switches(f, [("disk0", "host2")])
+        assert plan.turns
+        execute_plan(f, plan)
+        assert f.attached_host("disk0") == "host2"
+
+    def test_move_preserves_other_disks(self):
+        f = prototype_fabric()
+        before = f.attachment_map()
+        execute_plan(f, plan_switches(f, [("disk0", "host2")]))
+        after = f.attachment_map()
+        for disk_id, host in before.items():
+            if disk_id != "disk0":
+                assert after[disk_id] == host, disk_id
+
+    def test_whole_group_move_via_leaf_switch(self):
+        """Moving both disks of a leaf group together may flip the shared
+        leaf switch, because both disks are part of the command."""
+        f = prototype_fabric()
+        # disks 0 and 1 share leaf hub 0 -> primary host0, alternate host1.
+        plan = plan_switches(f, [("disk0", "host1"), ("disk1", "host1")])
+        execute_plan(f, plan)
+        assert f.attached_host("disk0") == "host1"
+        assert f.attached_host("disk1") == "host1"
+
+    def test_conflicting_command_raises_with_victims(self):
+        f = prototype_fabric()
+        # disk0's only path to host1 flips leafsw0, which disk1 (not in
+        # the command) pins: Algorithm 1 line 17 reports the conflict and
+        # names the collateral disk so the Master can extend the command.
+        with pytest.raises(SwitchConflict) as excinfo:
+            plan_switches(f, [("disk0", "host1")])
+        assert excinfo.value.victims == ("disk1",)
+
+    def test_self_conflicting_command(self):
+        f = prototype_fabric()
+        # disk0 and disk1 share both their leaf switch and (alternate)
+        # leaf hub; sending them to two different hosts that both require
+        # the shared leaf switch in different states must conflict.
+        with pytest.raises((SwitchConflict, FabricError)):
+            plan = plan_switches(f, [("disk0", "host1"), ("disk1", "host0")])
+            # If planning found independent paths, executing is fine and
+            # the scenario is not self-conflicting; force failure only
+            # when the attachments don't both hold.
+            execute_plan(f, plan)
+            assert f.attached_host("disk0") == "host1"
+            assert f.attached_host("disk1") == "host0"
+            raise FabricError("independent paths existed (acceptable)")
+
+    def test_unknown_disk_rejected(self):
+        f = prototype_fabric()
+        with pytest.raises(FabricError):
+            plan_switches(f, [("nope", "host0")])
+
+    def test_non_disk_rejected(self):
+        f = prototype_fabric()
+        with pytest.raises(FabricError):
+            plan_switches(f, [("leafhub0", "host0")])
+
+    def test_unknown_host_rejected(self):
+        f = prototype_fabric()
+        with pytest.raises(FabricError):
+            plan_switches(f, [("disk0", "host9")])
+
+    def test_duplicate_disk_rejected(self):
+        f = prototype_fabric()
+        with pytest.raises(FabricError):
+            plan_switches(f, [("disk0", "host0"), ("disk0", "host1")])
+
+    def test_failover_all_disks_of_failed_host(self):
+        """Host failure: every disk of host0 finds a new home (§IV-E)."""
+        f = prototype_fabric()
+        victims = [d for d, h in f.attachment_map().items() if h == "host0"]
+        assert len(victims) == 4
+        # Move each disk individually to some other reachable host,
+        # respecting conflicts by choosing per-disk targets greedily.
+        for disk_id in victims:
+            moved = False
+            for target in f.reachable_hosts(disk_id):
+                if target == "host0":
+                    continue
+                try:
+                    execute_plan(f, plan_switches(f, [(disk_id, target)]))
+                    moved = True
+                    break
+                except SwitchConflict:
+                    continue
+            assert moved, f"no conflict-free target for {disk_id}"
+        attachment = f.attachment_map()
+        assert all(h != "host0" for h in attachment.values())
+        assert all(h is not None for h in attachment.values())
+
+    def test_plan_on_dual_tree_is_conflict_free(self):
+        f = dual_tree_fabric(num_disks=8, num_hosts=2)
+        pairs = [(f"disk{i}", "host1") for i in range(8)]
+        plan = plan_switches(f, pairs)
+        execute_plan(f, plan)
+        assert all(h == "host1" for h in f.attachment_map().values())
+
+    def test_detached_disks_pin_nothing(self):
+        f = prototype_fabric()
+        f.node("leafhub0").fail()  # disks 0,1 now detached
+        # Their leaf switch state must not block other commands.
+        plan = plan_switches(f, [("disk4", "host0")])
+        execute_plan(f, plan)
+        assert f.attached_host("disk4") == "host0"
+
+
+class TestValidate:
+    def test_prototype_validates(self):
+        report = validate_fabric(prototype_fabric())
+        assert report.ok, report.errors
+        assert report.max_hub_depth == 2
+        assert report.min_reachable_hosts == 4
+
+    def test_dual_tree_validates(self):
+        report = validate_fabric(dual_tree_fabric(num_disks=16, num_hosts=2))
+        assert report.ok, report.errors
+
+    def test_intel_quirk_warning_on_prototype(self):
+        """§V-B: the Intel xHCI driver only sees ~15 devices per root."""
+        report = validate_fabric(prototype_fabric(), enforce_intel_quirk=True)
+        assert report.ok  # still within the USB-spec 127
+        assert report.warnings  # but flagged for the Intel quirk
+
+    def test_empty_fabric_fails(self):
+        from repro.fabric import Fabric
+
+        report = validate_fabric(Fabric())
+        assert not report.ok
+
+    def test_unreachable_disk_detected(self):
+        from repro.fabric import Bridge, DiskNode, Fabric, HostPort, Hub
+
+        f = Fabric()
+        f.add(HostPort("p", host_id="h"))
+        f.add(Hub("hub"))
+        f.connect("hub", "p")
+        f.add(DiskNode("d"))
+        f.add(Bridge("b"))
+        f.connect("d", "b")  # bridge never wired upward
+        report = validate_fabric(f)
+        assert not report.ok
+        assert any("reaches no host" in e for e in report.errors)
+
+    def test_single_path_disk_flagged(self):
+        from repro.fabric import Bridge, DiskNode, Fabric, HostPort, Hub
+
+        f = Fabric()
+        f.add(HostPort("p", host_id="h"))
+        f.add(Hub("hub"))
+        f.connect("hub", "p")
+        f.add(DiskNode("d"))
+        f.add(Bridge("b"))
+        f.connect("d", "b")
+        f.connect("b", "hub")
+        report = validate_fabric(f, require_full_reachability=False)
+        assert not report.ok
+        assert any("failover" in e for e in report.errors)
+
+    def test_hub_tier_limit(self):
+        from repro.fabric import Bridge, DiskNode, Fabric, HostPort, Hub
+
+        f = Fabric()
+        f.add(HostPort("p", host_id="h"))
+        previous = "p"
+        for i in range(6):  # 6 hub tiers > USB's 5
+            f.add(Hub(f"hub{i}"))
+            f.connect(f"hub{i}", previous)
+            previous = f"hub{i}"
+        f.add(DiskNode("d"))
+        f.add(Bridge("b"))
+        f.connect("d", "b")
+        f.connect("b", previous)
+        report = validate_fabric(f, require_full_reachability=False)
+        assert any("hub tiers" in e for e in report.errors)
+
+    def test_device_census(self):
+        report = validate_fabric(prototype_fabric())
+        # Each port can see all 16 bridges plus its root hub and the 4
+        # leaf hubs that can route to it: 21 devices worst case — over
+        # the Intel xHCI quirk's 15, matching the paper's observation
+        # that only up to ~12 disks per host were usable.
+        assert all(v == 21 for v in report.worst_case_devices_per_port.values())

@@ -1,0 +1,302 @@
+"""Unit tests for fabric components, topology and builders."""
+
+import pytest
+
+from repro.fabric import (
+    Bridge,
+    DiskNode,
+    Fabric,
+    FabricError,
+    HostPort,
+    Hub,
+    Switch,
+    SwitchSetting,
+    dual_tree_fabric,
+    prototype_fabric,
+    ring_fabric,
+)
+
+
+def tiny_fabric():
+    """disk -> bridge -> switch -> {hubA -> portA, hubB -> portB}."""
+    f = Fabric()
+    f.add(HostPort("pA", host_id="hostA"))
+    f.add(HostPort("pB", host_id="hostB"))
+    f.add(Hub("hubA"))
+    f.add(Hub("hubB"))
+    f.add(Switch("sw"))
+    f.add(Bridge("br"))
+    f.add(DiskNode("d0"))
+    f.connect("hubA", "pA")
+    f.connect("hubB", "pB")
+    f.connect("sw", "hubA")
+    f.connect("sw", "hubB")
+    f.connect("br", "sw")
+    f.connect("d0", "br")
+    return f
+
+
+class TestComponents:
+    def test_switch_state_validation(self):
+        sw = Switch("s")
+        with pytest.raises(FabricError):
+            sw.state = 2
+
+    def test_switch_toggle(self):
+        sw = Switch("s")
+        assert sw.turn() == 1
+        assert sw.turn() == 0
+        assert sw.turn_count == 2
+
+    def test_switch_turn_to_state(self):
+        sw = Switch("s")
+        assert sw.turn(1) == 1
+        assert sw.state == 1
+
+    def test_hub_fan_in_validation(self):
+        with pytest.raises(FabricError):
+            Hub("h", fan_in=0)
+
+    def test_empty_node_id_rejected(self):
+        with pytest.raises(FabricError):
+            Hub("")
+
+    def test_fail_and_repair(self):
+        hub = Hub("h")
+        hub.fail()
+        assert hub.failed
+        hub.repair()
+        assert not hub.failed
+
+
+class TestFabricConstruction:
+    def test_duplicate_id_rejected(self):
+        f = Fabric()
+        f.add(Hub("h"))
+        with pytest.raises(FabricError):
+            f.add(Switch("h"))
+
+    def test_host_port_has_no_upstream(self):
+        f = Fabric()
+        f.add(HostPort("p", host_id="h"))
+        f.add(Hub("hub"))
+        with pytest.raises(FabricError):
+            f.connect("p", "hub")
+
+    def test_disk_accepts_no_downstream(self):
+        f = Fabric()
+        f.add(DiskNode("d"))
+        f.add(Bridge("b"))
+        with pytest.raises(FabricError):
+            f.connect("b", "d")
+
+    def test_hub_fan_in_enforced(self):
+        f = Fabric()
+        f.add(Hub("h", fan_in=2))
+        f.add(HostPort("p", host_id="x"))
+        f.connect("h", "p")
+        for i in range(2):
+            f.add(Bridge(f"b{i}"))
+            f.connect(f"b{i}", "h")
+        f.add(Bridge("b2"))
+        with pytest.raises(FabricError):
+            f.connect("b2", "h")
+
+    def test_switch_two_upstreams_max(self):
+        f = Fabric()
+        f.add(Switch("s"))
+        for i in range(3):
+            f.add(Hub(f"h{i}"))
+        f.connect("s", "h0")
+        f.connect("s", "h1")
+        with pytest.raises(FabricError):
+            f.connect("s", "h2")
+
+    def test_non_switch_single_upstream(self):
+        f = Fabric()
+        f.add(Bridge("b"))
+        f.add(Hub("h0"))
+        f.add(Hub("h1"))
+        f.connect("b", "h0")
+        with pytest.raises(FabricError):
+            f.connect("b", "h1")
+
+    def test_unknown_node_rejected(self):
+        f = Fabric()
+        f.add(Hub("h"))
+        with pytest.raises(FabricError):
+            f.connect("h", "nope")
+
+
+class TestRouting:
+    def test_trace_up_follows_switch_state(self):
+        f = tiny_fabric()
+        assert f.trace_up("d0")[-1] == "pA"
+        f.node("sw").turn(1)
+        assert f.trace_up("d0")[-1] == "pB"
+
+    def test_attached_host(self):
+        f = tiny_fabric()
+        assert f.attached_host("d0") == "hostA"
+        f.node("sw").turn(1)
+        assert f.attached_host("d0") == "hostB"
+
+    def test_failed_component_breaks_attachment(self):
+        f = tiny_fabric()
+        f.node("hubA").fail()
+        assert f.attached_host("d0") is None
+        assert f.attached_host("d0", respect_failures=False) == "hostA"
+
+    def test_failed_disk_detached(self):
+        f = tiny_fabric()
+        f.node("d0").fail()
+        assert f.attached_host("d0") is None
+
+    def test_paths_enumerate_both_branches(self):
+        f = tiny_fabric()
+        paths = f.paths("d0")
+        assert {p.host_id for p in paths} == {"hostA", "hostB"}
+        for p in paths:
+            assert p.nodes[0] == "d0"
+            assert len(p.settings) == 1
+
+    def test_path_requires(self):
+        f = tiny_fabric()
+        to_b = [p for p in f.paths("d0") if p.host_id == "hostB"][0]
+        assert to_b.requires("sw") == 1
+        assert to_b.requires("other") is None
+
+    def test_get_switch_settings(self):
+        f = tiny_fabric()
+        settings = f.get_switch_settings("d0", "hostB")
+        assert settings == (SwitchSetting("sw", 1),)
+
+    def test_get_switch_settings_unreachable(self):
+        f = tiny_fabric()
+        with pytest.raises(FabricError):
+            f.get_switch_settings("d0", "nosuch")
+
+    def test_reachable_hosts(self):
+        f = tiny_fabric()
+        assert set(f.reachable_hosts("d0")) == {"hostA", "hostB"}
+        f.node("hubB").fail()
+        assert f.reachable_hosts("d0") == ["hostA"]
+
+    def test_apply_settings(self):
+        f = tiny_fabric()
+        f.apply_settings([SwitchSetting("sw", 1)])
+        assert f.attached_host("d0") == "hostB"
+
+    def test_apply_settings_rejects_non_switch(self):
+        f = tiny_fabric()
+        with pytest.raises(FabricError):
+            f.apply_settings([SwitchSetting("hubA", 1)])
+
+    def test_attachment_map(self):
+        f = tiny_fabric()
+        assert f.attachment_map() == {"d0": "hostA"}
+
+
+class TestPrototypeFabric:
+    def test_component_census(self):
+        f = prototype_fabric()
+        assert len(f.disks) == 16
+        assert len(f.bridges) == 16
+        assert len(f.hubs) == 12  # 8 leaf + 4 root
+        assert len(f.switches) == 24  # 16 disk-level + 8 leaf-level
+        assert len(f.host_ports) == 4
+        assert len(f.hosts()) == 4
+
+    def test_initial_attachment_balanced(self):
+        f = prototype_fabric()
+        attachment = f.attachment_map()
+        per_host = {}
+        for host in attachment.values():
+            per_host[host] = per_host.get(host, 0) + 1
+        assert per_host == {f"host{i}": 4 for i in range(4)}
+
+    def test_every_disk_reaches_every_host(self):
+        f = prototype_fabric()
+        for disk in f.disks:
+            assert len(f.reachable_hosts(disk.node_id, respect_failures=False)) == 4
+
+    def test_path_crosses_two_hubs_two_switches(self):
+        """§VII-A: 'The disk goes through two hubs, two switches and a bridge.'"""
+        f = prototype_fabric()
+        path = f.paths("disk0")[0]
+        kinds = [f.node(n).kind.value for n in path.nodes]
+        assert kinds.count("hub") == 2
+        assert kinds.count("switch") == 2
+        assert kinds.count("bridge") == 1
+
+    def test_hub_depth(self):
+        f = prototype_fabric()
+        assert f.hub_depth("disk0") == 2
+
+
+class TestRingFabricGeneral:
+    def test_two_host_ring(self):
+        f = ring_fabric(num_hosts=2, disks_per_leaf=2)
+        assert len(f.disks) == 8
+        for disk in f.disks:
+            assert len(f.reachable_hosts(disk.node_id, respect_failures=False)) == 2
+
+    def test_larger_unit(self):
+        f = ring_fabric(num_hosts=4, disks_per_leaf=8, fan_in=16)
+        assert len(f.disks) == 64
+        attachment = f.attachment_map()
+        counts = {}
+        for host in attachment.values():
+            counts[host] = counts.get(host, 0) + 1
+        assert counts == {f"host{i}": 16 for i in range(4)}
+
+    def test_disks_per_leaf_over_fan_in_rejected(self):
+        # Each leaf hub hosts primary + alternate connectors, so
+        # 2*disks_per_leaf must fit within the fan-in.
+        with pytest.raises(FabricError):
+            ring_fabric(num_hosts=4, disks_per_leaf=3, fan_in=4)
+
+    def test_single_host_rejected(self):
+        with pytest.raises(FabricError):
+            ring_fabric(num_hosts=1)
+
+
+class TestDualTreeFabric:
+    def test_two_tree_census(self):
+        f = dual_tree_fabric(num_disks=8, num_hosts=2, fan_in=4)
+        assert len(f.disks) == 8
+        assert len(f.switches) == 8  # one per disk
+        assert len(f.hosts()) == 2
+
+    def test_every_disk_reaches_both_hosts(self):
+        f = dual_tree_fabric(num_disks=8, num_hosts=2, fan_in=4)
+        for disk in f.disks:
+            assert len(f.reachable_hosts(disk.node_id, respect_failures=False)) == 2
+
+    def test_four_way_switching(self):
+        f = dual_tree_fabric(num_disks=4, num_hosts=4, fan_in=4)
+        for disk in f.disks:
+            assert len(f.reachable_hosts(disk.node_id, respect_failures=False)) == 4
+        # Switch chain depth log2(4) = 2 -> 3 switches per disk.
+        assert len(f.switches) == 4 * 3
+
+    def test_disks_independent(self):
+        """Left design: moving one disk never moves another."""
+        f = dual_tree_fabric(num_disks=4, num_hosts=2, fan_in=4)
+        before = f.attachment_map()
+        f.apply_settings(f.get_switch_settings("disk0", "host1"))
+        after = f.attachment_map()
+        assert after["disk0"] == "host1"
+        for disk_id in before:
+            if disk_id != "disk0":
+                assert after[disk_id] == before[disk_id]
+
+    def test_non_power_of_two_hosts_rejected(self):
+        with pytest.raises(FabricError):
+            dual_tree_fabric(num_disks=4, num_hosts=3)
+
+    def test_hub_tree_multilevel(self):
+        f = dual_tree_fabric(num_disks=32, num_hosts=2, fan_in=4)
+        # 32 leaf slots -> 8 leaf hubs -> 2 mid hubs -> 1 root hub per tree.
+        assert len(f.hubs) == 2 * (8 + 2 + 1)
+        assert f.hub_depth("disk0") == 3

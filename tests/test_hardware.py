@@ -1,0 +1,168 @@
+"""Tests for the control plane hardware: microcontrollers and relays."""
+
+import pytest
+
+from repro.disk import DiskPowerState, SimulatedDisk
+from repro.fabric import FabricError, prototype_fabric
+from repro.hardware import ControlPlane, Microcontroller, RelayBank, rolling_spin_up
+from repro.sim import Simulator
+from repro.usbsim import UsbBus
+
+
+class TestMicrocontroller:
+    def test_unpowered_outputs_zero(self):
+        mc = Microcontroller("mc", ["s0", "s1"])
+        assert mc.effective_outputs() == {"s0": 0, "s1": 0}
+
+    def test_set_output_requires_power(self):
+        mc = Microcontroller("mc", ["s0"])
+        with pytest.raises(FabricError):
+            mc.set_output("s0", 1)
+
+    def test_unknown_line_rejected(self):
+        mc = Microcontroller("mc", ["s0"])
+        mc.powered = True
+        with pytest.raises(FabricError):
+            mc.set_output("s9", 1)
+
+    def test_invalid_signal_rejected(self):
+        mc = Microcontroller("mc", ["s0"])
+        mc.powered = True
+        with pytest.raises(FabricError):
+            mc.set_output("s0", 2)
+
+    def test_failed_board_floats_low(self):
+        mc = Microcontroller("mc", ["s0"])
+        mc.powered = True
+        mc.set_output("s0", 1)
+        mc.failed = True
+        assert mc.effective_outputs() == {"s0": 0}
+
+
+class TestControlPlane:
+    def test_initial_signals_match_fabric(self):
+        fabric = prototype_fabric()
+        plane = ControlPlane(fabric)
+        for switch in fabric.switches:
+            assert plane.signal(switch.node_id) == switch.state
+
+    def test_set_switch_through_primary(self):
+        fabric = prototype_fabric()
+        plane = ControlPlane(fabric)
+        plane.set_switch("disksw0", 1)
+        assert fabric.node("disksw0").state == 1
+        plane.set_switch("disksw0", 0)
+        assert fabric.node("disksw0").state == 0
+
+    def test_xor_failover_preserves_states(self):
+        """§III-B: powering the backup must not glitch any switch."""
+        fabric = prototype_fabric()
+        plane = ControlPlane(fabric)
+        plane.set_switch("disksw0", 1)
+        plane.set_switch("leafsw3", 1)
+        before = {s.node_id: s.state for s in fabric.switches}
+        plane.failover_to_backup()
+        after = {s.node_id: s.state for s in fabric.switches}
+        assert before == after
+
+    def test_backup_can_drive_after_failover(self):
+        fabric = prototype_fabric()
+        plane = ControlPlane(fabric)
+        plane.set_switch("disksw0", 1)
+        plane.failover_to_backup()
+        plane.set_switch("disksw0", 0)
+        assert fabric.node("disksw0").state == 0
+        plane.set_switch("disksw1", 1)
+        assert fabric.node("disksw1").state == 1
+
+    def test_no_operational_board_raises(self):
+        fabric = prototype_fabric()
+        plane = ControlPlane(fabric)
+        plane.primary.failed = True
+        plane.backup.failed = True
+        with pytest.raises(FabricError):
+            plane.set_switch("disksw0", 1)
+
+    def test_active_selection(self):
+        fabric = prototype_fabric()
+        plane = ControlPlane(fabric)
+        assert plane.active is plane.primary
+        plane.failover_to_backup()
+        assert plane.active is plane.backup
+
+
+def make_relays():
+    sim = Simulator()
+    fabric = prototype_fabric()
+    disks = {d.node_id: SimulatedDisk(sim, d.node_id) for d in fabric.disks}
+    bus = UsbBus(sim, fabric)
+    bus.sync()
+    sim.run(until=10.0)
+    return sim, disks, bus, RelayBank(sim, disks, bus=bus)
+
+
+class TestRelays:
+    def test_open_relay_powers_off_and_detaches(self):
+        sim, disks, bus, relays = make_relays()
+        host = None
+        for h in ("host0", "host1", "host2", "host3"):
+            if "disk0" in bus.os_view(h):
+                host = h
+        assert host is not None
+        relays.open_relay("disk0")
+        assert disks["disk0"].power_state is DiskPowerState.POWERED_OFF
+        sim.run(until=sim.now + 5.0)
+        assert "disk0" not in bus.os_view(host)
+
+    def test_close_relay_restores(self):
+        sim, disks, bus, relays = make_relays()
+        relays.open_relay("disk0")
+        sim.run(until=sim.now + 5.0)
+        ready = relays.close_relay("disk0")
+        sim.run_until_event(ready)
+        assert disks["disk0"].states.is_spinning
+        sim.run(until=sim.now + 10.0)
+        assert any("disk0" in bus.os_view(f"host{i}") for i in range(4))
+
+    def test_double_open_is_idempotent(self):
+        sim, disks, bus, relays = make_relays()
+        relays.open_relay("disk0")
+        relays.open_relay("disk0")
+        assert not relays.is_powered("disk0")
+
+    def test_close_on_powered_is_immediate(self):
+        sim, disks, bus, relays = make_relays()
+        ready = relays.close_relay("disk0")
+        assert ready.triggered
+
+    def test_unknown_disk_rejected(self):
+        sim, disks, bus, relays = make_relays()
+        with pytest.raises(KeyError):
+            relays.open_relay("nope")
+
+    def test_rolling_spin_up_staggers(self):
+        sim, disks, bus, relays = make_relays()
+        for disk_id in disks:
+            relays.open_relay(disk_id)
+        sim.run(until=sim.now + 5.0)
+        start = sim.now
+        proc = sim.process(
+            rolling_spin_up(sim, relays, stagger=2.0, group_size=4)
+        )
+        finished = sim.run_until_event(proc)
+        # 16 disks in 4 groups: 3 staggers of 2s, then the last group's
+        # 8s spin-up completes: total >= 6 + 8.
+        assert finished - start >= 14.0
+        assert all(d.states.is_spinning for d in disks.values())
+
+    def test_rolling_spin_up_subset(self):
+        sim, disks, bus, relays = make_relays()
+        relays.open_relay("disk0")
+        relays.open_relay("disk1")
+        sim.run(until=sim.now + 5.0)
+        proc = sim.process(
+            rolling_spin_up(sim, relays, ["disk0", "disk1"], group_size=2)
+        )
+        sim.run_until_event(proc)
+        assert disks["disk0"].states.is_spinning
+        assert disks["disk1"].states.is_spinning

@@ -1,0 +1,64 @@
+"""Tests for the observability snapshot/dashboard."""
+
+import pytest
+
+from repro.cluster import build_deployment, build_multi_unit_deployment
+from repro.monitor import render_dashboard, snapshot
+from repro.workload import MB
+
+
+class TestSnapshot:
+    def test_single_unit_snapshot(self):
+        dep = build_deployment()
+        dep.settle(15.0)
+        snap = snapshot(dep)
+        assert snap.active_master is not None
+        assert snap.coord_leader is not None
+        unit = snap.units["unit0"]
+        assert sum(len(d) for d in unit.disks_per_host.values()) == 16
+        assert unit.detached_disks == []
+        assert unit.fabric_watts > 0
+
+    def test_snapshot_reflects_allocation_and_failure(self):
+        dep = build_deployment()
+        dep.settle(15.0)
+        client = dep.new_client("mon-app", service="mon")
+
+        def scenario():
+            info = yield from client.allocate(32 * MB)
+            return info
+
+        info = dep.sim.run_until_event(dep.sim.process(scenario()))
+        dep.fabric.node("leafhub0").fail()
+        dep.bus.sync()
+        dep.settle(3.0)
+        snap = snapshot(dep)
+        assert snap.spaces_allocated == 1
+        unit = snap.units["unit0"]
+        assert "leafhub0" in unit.failed_components
+        assert "disk0" in unit.detached_disks and "disk1" in unit.detached_disks
+        host = info["host_id"]
+        assert unit.exposed_targets[host] == 1
+
+    def test_multi_unit_snapshot(self):
+        dep = build_multi_unit_deployment(num_units=2)
+        dep.settle(15.0)
+        snap = snapshot(dep)
+        assert set(snap.units) == {"unit0", "unit1"}
+
+    def test_dashboard_renders(self):
+        dep = build_deployment()
+        dep.settle(15.0)
+        text = render_dashboard(snapshot(dep))
+        assert "UStore status" in text
+        assert "host0" in text and "master" in text
+
+    def test_dashboard_shows_failures(self):
+        dep = build_deployment()
+        dep.settle(15.0)
+        dep.fabric.node("leafhub0").fail()
+        dep.bus.sync()
+        dep.settle(2.0)
+        text = render_dashboard(snapshot(dep))
+        assert "FAILED: leafhub0" in text
+        assert "DETACHED" in text

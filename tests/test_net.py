@@ -1,0 +1,292 @@
+"""Tests for the simulated network, RPC and iSCSI layers."""
+
+import pytest
+
+from repro.disk import SimulatedDisk
+from repro.net import (
+    IscsiInitiator,
+    IscsiTargetServer,
+    Network,
+    RemoteError,
+    RpcClient,
+    RpcServer,
+    RpcTimeout,
+    SessionError,
+    StorageVolume,
+)
+from repro.sim import Simulator
+from repro.workload import KB, MB
+
+
+def make_net():
+    sim = Simulator()
+    return sim, Network(sim, jitter=0.0)
+
+
+class TestNetwork:
+    def test_delivery_with_latency(self):
+        sim, net = make_net()
+        net.add_node("a")
+        b = net.add_node("b")
+        net.send("a", "b", "hello", size=0)
+        message = sim.run_until_event(b.receive())
+        assert message.payload == "hello"
+        assert sim.now == pytest.approx(net.latency)
+
+    def test_size_adds_serialization_delay(self):
+        sim, net = make_net()
+        net.add_node("a")
+        b = net.add_node("b")
+        net.send("a", "b", "big", size=1_250_000)  # 10 ms at 1 GbE
+        sim.run_until_event(b.receive())
+        assert sim.now == pytest.approx(net.latency + 0.01)
+
+    def test_dead_receiver_drops(self):
+        sim, net = make_net()
+        net.add_node("a")
+        net.add_node("b")
+        net.set_alive("b", False)
+        net.send("a", "b", "x")
+        sim.run()
+        assert net.dropped_count == 1
+        assert len(net.node("b").inbox.items) == 0
+
+    def test_dead_sender_drops(self):
+        sim, net = make_net()
+        net.add_node("a")
+        net.add_node("b")
+        net.set_alive("a", False)
+        net.send("a", "b", "x")
+        sim.run()
+        assert net.dropped_count == 1
+
+    def test_unknown_destination_drops(self):
+        sim, net = make_net()
+        net.add_node("a")
+        net.send("a", "ghost", "x")
+        assert net.dropped_count == 1
+
+    def test_unknown_sender_raises(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.send("ghost", "a", "x")
+
+    def test_partition_blocks_both_ways(self):
+        sim, net = make_net()
+        net.add_node("a")
+        net.add_node("b")
+        net.partition("a", "b")
+        net.send("a", "b", "x")
+        net.send("b", "a", "y")
+        sim.run()
+        assert net.dropped_count == 2
+        net.heal("a", "b")
+        net.send("a", "b", "z")
+        sim.run()
+        assert net.delivered_count == 1
+
+    def test_duplicate_address_rejected(self):
+        _, net = make_net()
+        net.add_node("a")
+        with pytest.raises(ValueError):
+            net.add_node("a")
+
+
+class TestRpc:
+    def test_basic_call(self):
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+        server.register("add", lambda a, b: a + b)
+        client = RpcClient(sim, net, "client")
+        result = sim.run_until_event(sim.process(client.call("server", "add", 2, 3)))
+        assert result == 5
+
+    def test_kwargs(self):
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+        server.register("greet", lambda name="world": f"hi {name}")
+        client = RpcClient(sim, net, "client")
+        result = sim.run_until_event(
+            sim.process(client.call("server", "greet", name="ustore"))
+        )
+        assert result == "hi ustore"
+
+    def test_generator_handler(self):
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+
+        def slow():
+            yield sim.timeout(1.0)
+            return "done"
+
+        server.register("slow", slow)
+        client = RpcClient(sim, net, "client")
+        result = sim.run_until_event(sim.process(client.call("server", "slow")))
+        assert result == "done"
+        assert sim.now > 1.0
+
+    def test_remote_exception(self):
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+
+        def boom():
+            raise ValueError("nope")
+
+        server.register("boom", boom)
+        client = RpcClient(sim, net, "client")
+        with pytest.raises(RemoteError, match="nope"):
+            sim.run_until_event(sim.process(client.call("server", "boom")))
+
+    def test_unknown_method(self):
+        sim, net = make_net()
+        RpcServer(sim, net, "server")
+        client = RpcClient(sim, net, "client")
+        with pytest.raises(RemoteError, match="no such method"):
+            sim.run_until_event(sim.process(client.call("server", "missing")))
+
+    def test_timeout_on_dead_server(self):
+        sim, net = make_net()
+        RpcServer(sim, net, "server")
+        net.set_alive("server", False)
+        client = RpcClient(sim, net, "client")
+        with pytest.raises(RpcTimeout):
+            sim.run_until_event(
+                sim.process(client.call("server", "x", timeout=1.0))
+            )
+        assert sim.now == pytest.approx(1.0)
+
+    def test_duplicate_handler_rejected(self):
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+        server.register("m", lambda: 1)
+        with pytest.raises(ValueError):
+            server.register("m", lambda: 2)
+
+    def test_concurrent_calls(self):
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+        server.register("echo", lambda x: x)
+        client = RpcClient(sim, net, "client")
+        procs = [sim.process(client.call("server", "echo", i)) for i in range(10)]
+        results = sim.run_until_event(sim.all_of(procs))
+        assert results == list(range(10))
+
+
+class TestIscsi:
+    def setup_stack(self):
+        sim = Simulator()
+        net = Network(sim, jitter=0.0)
+        target = IscsiTargetServer(sim, net, "host0")
+        disk = SimulatedDisk(sim, "disk0")
+        target.expose("tgt-disk0", StorageVolume("vol0", disk, offset=0, length=100 * MB))
+        initiator = IscsiInitiator(sim, net, "client0")
+        return sim, net, target, disk, initiator
+
+    def test_login_and_read(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            result = yield from session.read(0, 4 * MB)
+            return result
+
+        result = sim.run_until_event(sim.process(scenario()))
+        assert result["ok"]
+        assert disk.completed_ios == 1
+        assert disk.bytes_read == 4 * MB
+
+    def test_write(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            yield from session.write(0, 1 * MB)
+
+        sim.run_until_event(sim.process(scenario()))
+        assert disk.bytes_written == 1 * MB
+
+    def test_login_missing_target(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            yield from initiator.login("host0", "no-such-target")
+
+        with pytest.raises(SessionError):
+            sim.run_until_event(sim.process(scenario()))
+
+    def test_io_beyond_volume_rejected(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            yield from session.read(99 * MB, 4 * MB)
+
+        with pytest.raises(SessionError):
+            sim.run_until_event(sim.process(scenario()))
+
+    def test_withdraw_breaks_session(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            target.withdraw("tgt-disk0")
+            yield from session.read(0, 4 * KB)
+
+        with pytest.raises(SessionError):
+            sim.run_until_event(sim.process(scenario()))
+
+    def test_host_death_times_out_session(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+        initiator.io_timeout = 2.0
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            net.set_alive("host0", False)
+            yield from session.read(0, 4 * KB)
+
+        with pytest.raises(SessionError):
+            sim.run_until_event(sim.process(scenario()))
+
+    def test_logout(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            yield from session.logout()
+            assert not session.connected
+
+        sim.run_until_event(sim.process(scenario()))
+
+    def test_session_after_logout_rejected(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            session = yield from initiator.login("host0", "tgt-disk0")
+            yield from session.logout()
+            yield from session.read(0, 4 * KB)
+
+        with pytest.raises(SessionError):
+            sim.run_until_event(sim.process(scenario()))
+
+    def test_volume_translation(self):
+        sim = Simulator()
+        disk = SimulatedDisk(sim, "d")
+        volume = StorageVolume("v", disk, offset=10 * MB, length=10 * MB)
+        done = volume.submit(0, 4 * KB, is_read=True)
+        sim.run_until_event(done)
+        # The disk's sequential detector saw offset 10MB, not 0.
+        assert disk._last_offset_end == 10 * MB + 4 * KB
+
+    def test_double_expose_rejected(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+        with pytest.raises(ValueError):
+            target.expose("tgt-disk0", StorageVolume("v2", disk))
+
+    def test_list_targets(self):
+        sim, net, target, disk, initiator = self.setup_stack()
+
+        def scenario():
+            result = yield from initiator.rpc.call("host0", "iscsi.list_targets")
+            return result
+
+        assert sim.run_until_event(sim.process(scenario())) == ["tgt-disk0"]

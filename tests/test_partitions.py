@@ -1,0 +1,101 @@
+"""Network partitions against the coordination service and deployment."""
+
+import pytest
+
+from repro.coord import CoordSession, Role, build_cluster
+from repro.net import Network
+from repro.sim import RngRegistry, Simulator
+
+
+def make_cluster(size=3, seed=2):
+    sim = Simulator()
+    net = Network(sim, jitter=0.0)
+    replicas = build_cluster(sim, net, size=size, rng=RngRegistry(seed))
+    sim.run(until=5.0)
+    return sim, net, replicas
+
+
+def leader_of(replicas):
+    leaders = [r for r in replicas if r.role is Role.LEADER and not r.crashed]
+    return leaders[-1] if leaders else None
+
+
+class TestCoordPartitions:
+    def test_isolated_leader_is_replaced(self):
+        sim, net, replicas = make_cluster()
+        old = leader_of(replicas)
+        for other in replicas:
+            if other is not old:
+                net.partition(old.address, other.address)
+                net.partition(f"{old.address}.peerclient", other.address)
+                net.partition(old.address, f"{other.address}.peerclient")
+        sim.run(until=sim.now + 10.0)
+        majority_leaders = [
+            r for r in replicas if r.role is Role.LEADER and r is not old
+        ]
+        assert len(majority_leaders) == 1
+        assert majority_leaders[0].current_epoch > old.current_epoch
+
+    def test_old_leader_steps_down_after_heal(self):
+        sim, net, replicas = make_cluster()
+        old = leader_of(replicas)
+        for other in replicas:
+            if other is not old:
+                net.partition(old.address, other.address)
+                net.partition(f"{old.address}.peerclient", other.address)
+                net.partition(old.address, f"{other.address}.peerclient")
+        sim.run(until=sim.now + 10.0)
+        net.heal_all()
+        sim.run(until=sim.now + 10.0)
+        leaders = [r for r in replicas if r.role is Role.LEADER]
+        assert len(leaders) == 1
+        assert leaders[0] is not old
+
+    def test_writes_during_partition_survive_heal(self):
+        sim, net, replicas = make_cluster()
+        old = leader_of(replicas)
+        for other in replicas:
+            if other is not old:
+                net.partition(old.address, other.address)
+                net.partition(f"{old.address}.peerclient", other.address)
+                net.partition(old.address, f"{other.address}.peerclient")
+        sim.run(until=sim.now + 10.0)
+        session = CoordSession(sim, net, "pclient", [r.address for r in replicas])
+
+        def scenario():
+            yield from session.start()
+            yield from session.create("/partition-write", data=1)
+
+        sim.run_until_event(sim.process(scenario()))
+        net.heal_all()
+        sim.run(until=sim.now + 10.0)
+        # The write committed on the majority side and survives healing
+        # on whoever leads now.
+        current = leader_of(replicas)
+        assert current.tree.exists("/partition-write")
+
+    def test_minority_partition_cannot_commit(self):
+        sim, net, replicas = make_cluster()
+        old = leader_of(replicas)
+        for other in replicas:
+            if other is not old:
+                net.partition(old.address, other.address)
+                net.partition(f"{old.address}.peerclient", other.address)
+                net.partition(old.address, f"{other.address}.peerclient")
+        # A client that can only reach the isolated old leader.
+        session = CoordSession(sim, net, "mclient", [old.address])
+        for other in replicas:
+            if other is not old:
+                net.partition("mclient", other.address)
+
+        def scenario():
+            yield from session.start()
+
+        from repro.net import RpcTimeout, RemoteError
+
+        with pytest.raises((RpcTimeout, RemoteError)):
+            sim.run_until_event(sim.process(scenario()))
+        # The isolated leader never applied the session creation.
+        assert "session:mclient" not in old._session_timeouts or not old.tree.exists(
+            "/partition-x"
+        )

@@ -1,0 +1,513 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    Container,
+    Interrupt,
+    Resource,
+    RngRegistry,
+    SimulationError,
+    Simulator,
+    Store,
+    TimeSeries,
+    Tracer,
+)
+
+
+class TestEventBasics:
+    def test_clock_starts_at_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_clock_custom_start(self):
+        sim = Simulator(start_time=42.5)
+        assert sim.now == 42.5
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(3.5)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        sim.timeout(100.0)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_advances_past_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_event_value_before_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_unhandled_failed_event_raises_at_processing(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_defused_failed_event_is_silent(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        sim.run()
+
+    def test_call_in_runs_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_call_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(7.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [7.0]
+
+    def test_call_at_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(3.0, lambda: order.append("c"))
+        sim.call_in(1.0, lambda: order.append("a"))
+        sim.call_in(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.call_in(1.0, lambda lab=label: order.append(lab))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rescheduler():
+            sim.call_in(0.0, rescheduler)
+
+        rescheduler()
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_waits_on_timeout(self):
+        sim = Simulator()
+        log = []
+
+        def proc(sim):
+            log.append(sim.now)
+            yield sim.timeout(2.0)
+            log.append(sim.now)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert log == [0.0, 2.0]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(1.0)
+            return 99
+
+        p = sim.process(child(sim))
+        assert sim.run_until_event(p) == 99
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+        results = []
+
+        def child(sim):
+            yield sim.timeout(3.0)
+            return "done"
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            results.append((sim.now, value))
+
+        sim.process(parent(sim))
+        sim.run()
+        assert results == [(3.0, "done")]
+
+    def test_yield_non_event_fails_loudly(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield 42
+
+        p = sim.process(bad(sim))
+        p.defuse()
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.value, SimulationError)
+
+    def test_process_exception_propagates_to_waiter(self):
+        sim = Simulator()
+        caught = []
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner")
+
+        def waiter(sim):
+            try:
+                yield sim.process(failing(sim))
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(waiter(sim))
+        sim.run()
+        assert caught == ["inner"]
+
+    def test_interrupt_wakes_sleeping_process(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as intr:
+                log.append((sim.now, intr.cause))
+
+        p = sim.process(sleeper(sim))
+        sim.call_in(5.0, lambda: p.interrupt("wake up"))
+        sim.run()
+        assert log == [(5.0, "wake up")]
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_yield_already_processed_event(self):
+        sim = Simulator()
+        log = []
+
+        def proc(sim):
+            ev = sim.timeout(0.0, value="x")
+            yield sim.timeout(1.0)
+            value = yield ev  # fired long ago
+            log.append(value)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert log == ["x"]
+
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+        results = []
+
+        def proc(sim):
+            events = [sim.timeout(i, value=i) for i in (3, 1, 2)]
+            values = yield sim.all_of(events)
+            results.append((sim.now, values))
+
+        sim.process(proc(sim))
+        sim.run()
+        assert results == [(3.0, [3, 1, 2])]
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        gate = sim.all_of([])
+        assert sim.run_until_event(gate) == []
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        results = []
+
+        def proc(sim):
+            value = yield sim.any_of([sim.timeout(5, "slow"), sim.timeout(1, "fast")])
+            results.append((sim.now, value))
+
+        sim.process(proc(sim))
+        sim.run()
+        assert results == [(1.0, "fast")]
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        active = []
+
+        def worker(sim, name):
+            yield res.request()
+            active.append(name)
+            yield sim.timeout(10.0)
+            res.release()
+
+        for name in "abc":
+            sim.process(worker(sim, name))
+        sim.run(until=5.0)
+        assert sorted(active) == ["a", "b"]
+        sim.run()
+        assert sorted(active) == ["a", "b", "c"]
+
+    def test_fifo_grant_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        grants = []
+
+        def worker(sim, name, start):
+            yield sim.timeout(start)
+            yield res.request()
+            grants.append(name)
+            yield sim.timeout(1.0)
+            res.release()
+
+        sim.process(worker(sim, "first", 0.0))
+        sim.process(worker(sim, "second", 0.1))
+        sim.process(worker(sim, "third", 0.2))
+        sim.run()
+        assert grants == ["first", "second", "third"]
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_cancel_queued_request(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()  # take the slot
+        queued = res.request()
+        assert res.cancel(queued)
+        assert res.queue_length == 0
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+        got = store.get()
+        assert sim.run_until_event(got) == "item"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        results = []
+
+        def consumer(sim):
+            item = yield store.get()
+            results.append((sim.now, item))
+
+        def producer(sim):
+            yield sim.timeout(4.0)
+            yield store.put("late")
+
+        sim.process(consumer(sim))
+        sim.process(producer(sim))
+        sim.run()
+        assert results == [(4.0, "late")]
+
+    def test_predicate_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        store.put(3)
+        got = store.get(lambda x: x % 2 == 0)
+        assert sim.run_until_event(got) == 2
+        assert list(store.items) == [1, 3]
+
+    def test_bounded_capacity_blocks_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        store.put("a")
+        blocked = store.put("b")
+        sim.run()
+        assert not blocked.triggered
+        store.get()
+        sim.run()
+        assert blocked.triggered
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        values = [sim.run_until_event(store.get()) for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        sim = Simulator()
+        tank = Container(sim, capacity=10, init=0)
+        got = tank.get(5)
+        sim.run()
+        assert not got.triggered
+        tank.put(5)
+        sim.run()
+        assert got.triggered
+        assert tank.level == 0
+
+    def test_put_blocks_at_capacity(self):
+        sim = Simulator()
+        tank = Container(sim, capacity=10, init=10)
+        blocked = tank.put(1)
+        sim.run()
+        assert not blocked.triggered
+        tank.get(5)
+        sim.run()
+        assert blocked.triggered
+        assert tank.level == 6
+
+    def test_init_bounds_checked(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Container(sim, capacity=5, init=6)
+
+    def test_negative_amounts_rejected(self):
+        sim = Simulator()
+        tank = Container(sim, capacity=5, init=1)
+        with pytest.raises(SimulationError):
+            tank.get(-1)
+        with pytest.raises(SimulationError):
+            tank.put(-1)
+
+
+class TestRng:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(7).stream("disk").random()
+        b = RngRegistry(7).stream("disk").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(7)
+        first = reg.stream("disk").random()
+        # Creating another stream must not perturb the first.
+        reg2 = RngRegistry(7)
+        reg2.stream("network")
+        assert reg2.stream("disk").random() == first
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream("x").random()
+
+    def test_fork_is_deterministic_and_distinct(self):
+        reg = RngRegistry(7)
+        f1 = reg.fork("trial")
+        f2 = RngRegistry(7).fork("trial")
+        assert f1.master_seed == f2.master_seed
+        assert f1.master_seed != reg.master_seed
+
+
+class TestTrace:
+    def test_tracer_records_with_time(self):
+        sim = Simulator()
+        tracer = Tracer(lambda: sim.now)
+        sim.call_in(2.0, lambda: tracer.emit("chan", "hello", n=1))
+        sim.run()
+        assert len(tracer.records) == 1
+        rec = tracer.records[0]
+        assert rec.time == 2.0 and rec.channel == "chan" and rec.data == {"n": 1}
+
+    def test_tracer_channel_filter(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.emit("a", "1")
+        tracer.emit("b", "2")
+        tracer.emit("a", "3")
+        assert [r.message for r in tracer.channel("a")] == ["1", "3"]
+
+    def test_tracer_disable(self):
+        tracer = Tracer(lambda: 0.0)
+        tracer.enabled = False
+        tracer.emit("a", "dropped")
+        assert tracer.records == []
+
+    def test_tracer_subscriber(self):
+        tracer = Tracer(lambda: 0.0)
+        seen = []
+        tracer.subscribe(lambda rec: seen.append(rec.message))
+        tracer.emit("a", "x")
+        assert seen == ["x"]
+
+    def test_timeseries_stats(self):
+        ts = TimeSeries("t")
+        for t, v in [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]:
+            ts.sample(t, v)
+        assert ts.mean() == 2.5
+        assert ts.minimum() == 1.0
+        assert ts.maximum() == 4.0
+        assert ts.percentile(50) == 2.5
+        assert ts.last == 4.0
+
+    def test_timeseries_percentile_bounds(self):
+        ts = TimeSeries()
+        ts.sample(0, 5.0)
+        with pytest.raises(ValueError):
+            ts.percentile(101)
+
+    def test_timeseries_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.sample(0.0, 10.0)
+        ts.sample(9.0, 0.0)
+        # 9s at 10, 1s at 0 over [0, 10]
+        assert ts.time_weighted_mean(end_time=10.0) == pytest.approx(9.0)
+
+    def test_empty_timeseries(self):
+        ts = TimeSeries()
+        assert ts.mean() == 0.0
+        assert ts.last is None
+        assert len(ts) == 0
