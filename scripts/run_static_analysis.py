@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run the determinism linter (and mypy, when available) over the tree.
+
+Exit status is nonzero when any unsuppressed finding or type error is
+reported, so this doubles as the CI gate
+(``tests/test_static_analysis_clean.py`` runs the same checks inside
+the default pytest run).
+
+Usage::
+
+    python scripts/run_static_analysis.py               # lint src/repro
+    python scripts/run_static_analysis.py path/to/code  # lint elsewhere
+    python scripts/run_static_analysis.py --no-mypy     # linter only
+    python scripts/run_static_analysis.py --audit       # list suppressions
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis import Linter  # noqa: E402  (needs sys.path tweak first)
+
+
+def run_mypy(paths: List[str]) -> int:
+    """Run mypy with the pyproject config; 0 when clean or unavailable."""
+    if importlib.util.find_spec("mypy") is None:
+        print("mypy: not installed, skipping type check")
+        return 0
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(REPO_ROOT / "pyproject.toml"),
+        *paths,
+    ]
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    return completed.returncode
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--audit", action="store_true", help="list inline suppressions"
+    )
+    parser.add_argument(
+        "--no-mypy", action="store_true", help="skip the mypy pass"
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [str(SRC / "repro")]
+    report = Linter().lint_paths(paths)
+    print(report.render(audit=args.audit))
+
+    status = 0 if report.ok else 1
+    if not args.no_mypy:
+        mypy_status = run_mypy(paths)
+        if mypy_status != 0:
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Static and dynamic determinism analysis for the simulation stack.
+
+Two layers keep "same seeds => same replay" an enforced property rather
+than a hope:
+
+* :mod:`repro.analysis.lint` — an AST linter whose rules flag
+  determinism hazards (global ``random``, wall-clock reads, set-order
+  scheduling, mutable defaults) before they reach a simulation;
+* :mod:`repro.analysis.races` — a runtime same-timestamp race detector
+  the kernel drives when constructed with ``Simulator(detect_races=True)``.
+
+Run the static pass with ``python -m repro lint`` or
+``scripts/run_static_analysis.py``; the dynamic pass with
+``python -m repro check-determinism``.
+"""
+
+from repro.analysis.findings import Finding, Severity, Suppression
+from repro.analysis.lint import LintConfig, LintReport, Linter, lint_paths
+from repro.analysis.races import Race, RaceDetector
+from repro.analysis.rules import DEFAULT_RULES, ModuleContext, Rule, all_rule_ids
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Linter",
+    "ModuleContext",
+    "Race",
+    "RaceDetector",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "all_rule_ids",
+    "lint_paths",
+]

@@ -1,0 +1,48 @@
+"""Structured results of the determinism linter.
+
+A :class:`Finding` is one determinism hazard at a specific source
+location; a :class:`Suppression` records a finding that was silenced by
+an inline ``# repro-lint: ignore[rule-id]`` comment so the audit trail
+of what is being waived stays visible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Finding", "Severity", "Suppression"]
+
+
+class Severity(enum.Enum):
+    """How strongly a finding threatens replay determinism."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One determinism hazard at ``file:line``."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule_id} [{self.severity.value}] {self.message}"
+
+
+@dataclass(frozen=True, order=True)
+class Suppression:
+    """A finding silenced by an inline suppression comment."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: suppressed {self.rule_id} — {self.message}"

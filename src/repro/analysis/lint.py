@@ -1,0 +1,215 @@
+"""The determinism linter: file discovery, rule dispatch, suppressions.
+
+Usage::
+
+    from repro.analysis import Linter
+
+    report = Linter().lint_paths(["src/repro"])
+    for finding in report.findings:
+        print(finding.render())
+
+Inline suppressions use ``# repro-lint: ignore[DET001]`` (several ids
+comma-separated, or ``ignore[all]``) on the offending line.  Suppressed
+findings are not dropped silently — they are collected on the report so
+``repro lint --audit`` can list every waiver in the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Suppression
+from repro.analysis.rules import DEFAULT_RULES, ModuleContext, Rule
+
+__all__ = ["LintConfig", "LintReport", "Linter", "lint_paths"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s\-]+)\]")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Path-based policy: which modules get which exemptions.
+
+    Paths are matched as posix suffixes, so the same config works
+    whether the linter is pointed at ``src/repro`` or an absolute path.
+    """
+
+    # The one module allowed to import the global random module.
+    rng_modules: Tuple[str, ...] = ("repro/sim/rng.py",)
+    # Operator-facing code that legitimately reads the wall clock.
+    wallclock_exempt: Tuple[str, ...] = (
+        "repro/cli.py",
+        "repro/monitor.py",
+        "repro/__main__.py",
+    )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Suppression] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return counts
+
+    def render(self, audit: bool = False) -> str:
+        lines: List[str] = []
+        for finding in sorted(self.findings + self.parse_errors):
+            lines.append(finding.render())
+        if audit and self.suppressed:
+            lines.append("")
+            lines.append(f"Suppressions in effect ({len(self.suppressed)}):")
+            for suppression in sorted(self.suppressed):
+                lines.append("  " + suppression.render())
+        summary = (
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} "
+            f"suppressed, {self.files_checked} file(s) checked"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _suppressed_ids(line: str) -> List[str]:
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return []
+    return [part.strip() for part in match.group(1).split(",") if part.strip()]
+
+
+class Linter:
+    """Runs a rule set over python files, applying inline suppressions."""
+
+    def __init__(
+        self,
+        config: LintConfig = LintConfig(),
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> None:
+        self.config = config
+        self.rules: Tuple[Rule, ...] = tuple(rules if rules is not None else DEFAULT_RULES)
+
+    # -- file discovery ----------------------------------------------------
+
+    @staticmethod
+    def iter_python_files(paths: Iterable[str]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+        return files
+
+    # -- policy ------------------------------------------------------------
+
+    @staticmethod
+    def _matches(path: Path, suffixes: Tuple[str, ...]) -> bool:
+        posix = path.as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+    def context_for(self, path: Path, source: str) -> ModuleContext:
+        return ModuleContext(
+            path=str(path),
+            tree=ast.parse(source, filename=str(path)),
+            lines=source.splitlines(),
+            is_rng_module=self._matches(path, self.config.rng_modules),
+            wallclock_exempt=self._matches(path, self.config.wallclock_exempt),
+        )
+
+    # -- running -----------------------------------------------------------
+
+    def lint_source(self, path: Path, source: str, report: LintReport) -> None:
+        try:
+            ctx = self.context_for(path, source)
+        except SyntaxError as exc:
+            report.parse_errors.append(
+                Finding(
+                    file=str(path),
+                    line=exc.lineno or 0,
+                    rule_id="PARSE",
+                    message=f"could not parse: {exc.msg}",
+                )
+            )
+            return
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                line_text = ""
+                if 1 <= finding.line <= len(ctx.lines):
+                    line_text = ctx.lines[finding.line - 1]
+                ignored = _suppressed_ids(line_text)
+                if finding.rule_id in ignored or "all" in ignored:
+                    report.suppressed.append(
+                        Suppression(
+                            file=finding.file,
+                            line=finding.line,
+                            rule_id=finding.rule_id,
+                            message=finding.message,
+                        )
+                    )
+                else:
+                    report.findings.append(finding)
+
+    def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        report = LintReport()
+        path_list = list(paths)
+        # A typo'd path silently linting zero files would pass the CI
+        # gate; surface it as a finding instead.
+        for raw in path_list:
+            path = Path(raw)
+            if not path.exists():
+                report.parse_errors.append(
+                    Finding(
+                        file=raw,
+                        line=0,
+                        rule_id="IO",
+                        message="no such file or directory",
+                    )
+                )
+            elif not path.is_dir() and path.suffix != ".py":
+                report.parse_errors.append(
+                    Finding(
+                        file=raw,
+                        line=0,
+                        rule_id="IO",
+                        message="not a python file",
+                    )
+                )
+        for path in self.iter_python_files(path_list):
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                report.parse_errors.append(
+                    Finding(
+                        file=str(path), line=0, rule_id="IO", message=str(exc)
+                    )
+                )
+                continue
+            report.files_checked += 1
+            self.lint_source(path, source, report)
+        report.findings.sort()
+        report.suppressed.sort()
+        return report
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: LintConfig = LintConfig(),
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Convenience wrapper: one-shot lint of ``paths``."""
+    return Linter(config=config, rules=rules).lint_paths(paths)

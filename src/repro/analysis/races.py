@@ -1,0 +1,124 @@
+"""Same-timestamp race detection for the discrete-event kernel.
+
+The kernel orders events by ``(time, priority, seq)``.  When two events
+share a ``(time, priority)`` bucket, their relative order is decided
+only by the insertion sequence number — deterministic for replay, but a
+*logical* race if both events touch the same shared resource with at
+least one writer: the simulated outcome then depends on scheduling
+accidents (who happened to schedule first) rather than modelled
+causality.  This is the DES analogue of a happens-before race.
+
+The detector is driven by the kernel: ``begin_event``/``end_event``
+bracket each processed event, and instrumented resources (disk command
+queues, USB enumeration queues, coordination znodes, LSE overlays) call
+:meth:`RaceDetector.touch` while their callbacks run.  Only stdlib is
+used here so :mod:`repro.sim.kernel` can import it lazily without a
+dependency cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Race", "RaceDetector"]
+
+
+@dataclass(frozen=True)
+class Race:
+    """Two or more same-bucket events conflicting on one resource."""
+
+    time: float
+    priority: int
+    resource: str
+    seqs: Tuple[int, ...]  # insertion sequence numbers of the events
+    writes: int  # how many of the touches were writes
+
+    def render(self) -> str:
+        return (
+            f"t={self.time:g} prio={self.priority}: {len(self.seqs)} events "
+            f"(seq {', '.join(map(str, self.seqs))}) touched {self.resource!r} "
+            f"with {self.writes} write(s); order decided only by insertion"
+        )
+
+
+class RaceDetector:
+    """Groups processed events into ``(time, priority)`` buckets and
+    reports conflicting shared-resource touches within a bucket."""
+
+    def __init__(self) -> None:
+        self._bucket_key: Optional[Tuple[float, int]] = None
+        # Per event in the current bucket: (seq, resource -> any_write).
+        self._bucket: List[Tuple[int, Dict[str, bool]]] = []
+        self._current: Optional[Tuple[int, Dict[str, bool]]] = None
+        self.races: List[Race] = []
+
+    # -- kernel hooks -------------------------------------------------------
+
+    def begin_event(self, time: float, priority: int, seq: int) -> None:
+        key = (time, priority)
+        if key != self._bucket_key:
+            self._flush()
+            self._bucket_key = key
+        self._current = (seq, {})
+
+    def touch(self, resource: str, write: bool = True) -> None:
+        """Record that the currently running event touched ``resource``."""
+        if self._current is None:
+            return  # touch from setup code outside event processing
+        touches = self._current[1]
+        touches[resource] = touches.get(resource, False) or write
+
+    def end_event(self) -> None:
+        if self._current is not None:
+            self._bucket.append(self._current)
+            self._current = None
+
+    # -- analysis -----------------------------------------------------------
+
+    @staticmethod
+    def _analyze(
+        key: Tuple[float, int], bucket: List[Tuple[int, Dict[str, bool]]]
+    ) -> List[Race]:
+        if len(bucket) < 2:
+            return []
+        by_resource: Dict[str, List[Tuple[int, bool]]] = {}
+        for seq, touches in bucket:
+            for resource, wrote in touches.items():
+                by_resource.setdefault(resource, []).append((seq, wrote))
+        races: List[Race] = []
+        for resource in sorted(by_resource):
+            touches_list = by_resource[resource]
+            writes = sum(1 for _, wrote in touches_list if wrote)
+            # Read/read overlap is benign; a conflict needs >= 2 events
+            # and at least one writer.
+            if len(touches_list) >= 2 and writes >= 1:
+                races.append(
+                    Race(
+                        time=key[0],
+                        priority=key[1],
+                        resource=resource,
+                        seqs=tuple(seq for seq, _ in touches_list),
+                        writes=writes,
+                    )
+                )
+        return races
+
+    def _flush(self) -> None:
+        bucket, self._bucket = self._bucket, []
+        if self._bucket_key is not None:
+            self.races.extend(self._analyze(self._bucket_key, bucket))
+
+    def report(self) -> List[Race]:
+        """All races so far, including the still-open bucket.
+
+        Non-destructive: the open bucket is analyzed on a copy so the
+        detector keeps accumulating if the simulation continues.
+        """
+        pending: List[Race] = []
+        if self._bucket_key is not None and self._bucket:
+            open_bucket = list(self._bucket)
+            if self._current is not None:
+                open_bucket.append(self._current)
+            pending = self._analyze(self._bucket_key, open_bucket)
+        return self.races + pending

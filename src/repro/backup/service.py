@@ -28,10 +28,10 @@ def synthetic_dataset(
     stream: str = "dataset",
 ) -> List[FileVersion]:
     """A plausible file-size population (log-ish spread around the mean)."""
-    random = rng.stream(stream)
+    rand = rng.stream(stream)
     files: List[FileVersion] = []
     for index in range(num_files):
-        scale = random.choice((0.25, 0.5, 1.0, 1.0, 2.0, 4.0))
+        scale = rand.choice((0.25, 0.5, 1.0, 1.0, 2.0, 4.0))
         size = max(1, int(mean_file_mb * scale * MB))
         files.append(
             FileVersion(name=f"file{index:04d}", size=size, content_seed=index)

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all              # everything (slow)
     python -m repro cost                 # Table I quick view
     python -m repro validate --hosts 4 --disks-per-leaf 2
+    python -m repro lint [paths...]      # determinism linter (src/repro)
+    python -m repro check-determinism    # replay + race-detector check
 """
 
 from __future__ import annotations
@@ -73,6 +75,49 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import Linter
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    report = Linter().lint_paths(paths)
+    print(report.render(audit=args.audit))
+    return 0 if report.ok else 1
+
+
+def _cmd_check_determinism(args: argparse.Namespace) -> int:
+    """Run the replay-sensitive experiments twice with the race detector
+    on and compare execution-order digests."""
+    from repro.experiments import figure5, reliability
+    from repro.sim import EventDigest
+
+    checks = {"figure5": figure5.run, "reliability": reliability.run}
+    failures = 0
+    for name, runner in checks.items():
+        digests = []
+        races: List = []
+        for _ in range(2):
+            digest = EventDigest()
+            result = runner(detect_races=True, event_digest=digest)
+            digests.append(digest.hexdigest())
+            races = result.get("races", [])
+        identical = digests[0] == digests[1]
+        print(f"{name}:")
+        print(f"  replay digest: {digests[0][:16]}…  "
+              f"{'identical across runs' if identical else 'MISMATCH: ' + digests[1][:16]}")
+        print(f"  same-timestamp races: {len(races)}")
+        for race in races:
+            print(f"    {race.render()}")
+        if not identical or races:
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="UStore (ICDCS 2015) reproduction toolkit"
@@ -92,6 +137,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     validate_parser.add_argument("--disks-per-leaf", type=int, default=2)
     validate_parser.add_argument("--fan-in", type=int, default=4)
     validate_parser.set_defaults(fn=_cmd_validate)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run the determinism linter (default: the repro package)"
+    )
+    lint_parser.add_argument("paths", nargs="*")
+    lint_parser.add_argument(
+        "--audit", action="store_true", help="also list inline suppressions"
+    )
+    lint_parser.set_defaults(fn=_cmd_lint)
+
+    sub.add_parser(
+        "check-determinism",
+        help="replay experiments twice and run the same-timestamp race detector",
+    ).set_defaults(fn=_cmd_check_determinism)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -67,7 +67,7 @@ class Controller:
         self.rollbacks = 0
 
         # §IV-C step 1: the fabric is locked per command.
-        self._lock = Resource(sim, capacity=1)
+        self._lock = Resource(sim, capacity=1, name=f"fabric-lock:{address}")
         self.rpc = RpcServer(sim, network, address)
         self.rpc_client = RpcClient(sim, network, f"{address}.client")
         self.rpc.register("controller.execute", self._on_execute)

@@ -38,6 +38,8 @@ class DeploymentConfig:
     num_coord_replicas: int = 3
     num_masters: int = 2
     seed: int = 7
+    # Opt-in same-timestamp race detection (repro.analysis.races).
+    detect_races: bool = False
     usb_timing: UsbTimingParams = UsbTimingParams()
     usb_quirks: UsbQuirks = UsbQuirks()
     endpoint: EndPointConfig = EndPointConfig()
@@ -111,7 +113,7 @@ def build_deployment(
 ) -> Deployment:
     """Assemble a full UStore system around ``fabric`` (default: the
     16-disk, 4-host prototype of §V-B)."""
-    sim = Simulator()
+    sim = Simulator(detect_races=config.detect_races)
     rng = RngRegistry(config.seed)
     network = Network(sim, rng=rng)
     fabric = fabric or prototype_fabric()

@@ -307,16 +307,19 @@ class CoordReplica:
             return None
         if kind == "create":
             _, path, data, ephemeral_owner, sequential = op
+            self.sim.touch_resource(f"znode:{self.address}{path}", write=True)
             actual = self.tree.create(path, data, ephemeral_owner, sequential)
             self._fire_watches(actual, "created")
             return actual
         if kind == "set":
             _, path, data = op
+            self.sim.touch_resource(f"znode:{self.address}{path}", write=True)
             version = self.tree.set_data(path, data)
             self._fire_watches(path, "changed")
             return version
         if kind == "delete":
             _, path = op
+            self.sim.touch_resource(f"znode:{self.address}{path}", write=True)
             self.tree.delete(path, recursive=True)
             self._fire_watches(path, "deleted")
             return True
@@ -454,6 +457,7 @@ class CoordReplica:
             raise ZnodeError("crashed")
         if self.role is not Role.LEADER:
             raise NotLeaderError(self.leader_hint)
+        self.sim.touch_resource(f"znode:{self.address}{path}", write=False)
         if what == "get":
             return self.tree.get_data(path)
         if what == "exists":

@@ -67,7 +67,7 @@ class SimulatedDisk:
         self.model = DiskModel(disk=spec, connection=connection)
         self.states = SpinStateMachine(initial_state)
         self.failed = False
-        self._queue = Resource(sim, capacity=1)
+        self._queue = Resource(sim, capacity=1, name=f"disk-queue:{disk_id}")
         self._last_io_end = 0.0
         self._last_offset_end: Optional[int] = None
         self._last_is_read: Optional[bool] = None

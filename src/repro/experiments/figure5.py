@@ -12,10 +12,11 @@ workload mix.  The figure's anchor observations (§VII-A) are checked:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from repro.cluster.deployment import build_deployment
+from repro.cluster.deployment import DeploymentConfig, build_deployment
 from repro.experiments.common import format_table, gather_disks_on_host
+from repro.sim import EventDigest
 from repro.workload.iometer import model_throughput
 from repro.workload.specs import WorkloadSpec
 
@@ -25,11 +26,25 @@ DISK_COUNTS = (1, 2, 4, 8, 12)
 WORKLOADS = ("4KB-S-R", "4KB-S-W", "4KB-R-R", "4MB-S-R", "4MB-S-W", "4MB-R-R")
 
 
-def run() -> Dict:
+def run(
+    detect_races: bool = False, event_digest: Optional[EventDigest] = None
+) -> Dict:
+    """Run the experiment.
+
+    ``detect_races`` enables the kernel's same-timestamp race detector
+    on every deployment built (adds a ``"races"`` entry to the result);
+    ``event_digest`` folds every simulator's execution order into the
+    given digest for replay-determinism checks.
+    """
     series: Dict[str, List[float]] = {name: [] for name in WORKLOADS}
     per_disk_even = True
+    races: List = []
     for count in DISK_COUNTS:
-        deployment = build_deployment()
+        deployment = build_deployment(
+            config=DeploymentConfig(detect_races=detect_races)
+        )
+        if event_digest is not None:
+            event_digest.attach(deployment.sim)
         disks = gather_disks_on_host(deployment, "host0", count)
         for name in WORKLOADS:
             spec = WorkloadSpec.parse(name)
@@ -38,6 +53,8 @@ def run() -> Dict:
             shares = list(result["per_disk"].values())
             if max(shares) - min(shares) > 1e-3 * max(shares):
                 per_disk_even = False
+        if detect_races:
+            races.extend(deployment.sim.races)
     rows: List[List] = []
     for name in WORKLOADS:
         rows.append([name] + [round(v, 1) for v in series[name]])
@@ -57,12 +74,15 @@ def run() -> Dict:
         ),
         "shared_evenly": per_disk_even,
     }
-    return {
+    result_dict: Dict = {
         "headers": ["Workload"] + [f"{c} disks" for c in DISK_COUNTS],
         "rows": rows,
         "series_mb_per_s": series,
         "anchors": anchors,
     }
+    if detect_races:
+        result_dict["races"] = races
+    return result_dict
 
 
 def main() -> str:

@@ -12,9 +12,9 @@ Three studies the paper argues qualitatively, quantified:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional
 
-from repro.cluster.deployment import build_deployment
+from repro.cluster.deployment import DeploymentConfig, build_deployment
 from repro.disk.device import SimulatedDisk
 from repro.experiments.common import format_table
 from repro.reliability import (
@@ -26,7 +26,7 @@ from repro.reliability import (
     fabric_assisted_rebuild,
     network_rebuild,
 )
-from repro.sim import RngRegistry, Simulator
+from repro.sim import EventDigest, RngRegistry, Simulator
 from repro.workload.specs import MB
 
 __all__ = ["run"]
@@ -48,7 +48,9 @@ def _availability() -> Dict:
     }
 
 
-def _reconstruction() -> Dict:
+def _reconstruction(
+    detect_races: bool = False, event_digest: Optional[EventDigest] = None
+) -> Dict:
     rows = []
     for size_tb in (0.5, 1.0, 3.0):
         size = int(size_tb * TB)
@@ -64,7 +66,11 @@ def _reconstruction() -> Dict:
             ]
         )
     # Live drill at a smaller size (event-driven path).
-    deployment = build_deployment()
+    deployment = build_deployment(
+        config=DeploymentConfig(detect_races=detect_races)
+    )
+    if event_digest is not None:
+        event_digest.attach(deployment.sim)
     deployment.settle(15.0)
     drill = RebuildDrill(deployment)
 
@@ -83,13 +89,19 @@ def _reconstruction() -> Dict:
         "headers": ["Rebuild", "net h", "fabric h", "speedup", "net GB moved"],
         "rows": rows,
         "drill": {"network": network_drill, "fabric": assisted_drill},
+        "races": list(deployment.sim.races) if detect_races else [],
     }
 
 
-def _scrubbing() -> Dict:
+def _scrubbing(
+    detect_races: bool = False, event_digest: Optional[EventDigest] = None
+) -> Dict:
     latencies = {}
+    races: List = []
     for interval_hours in (6.0, 24.0, 7 * 24.0):
-        sim = Simulator()
+        sim = Simulator(detect_races=detect_races)
+        if event_digest is not None:
+            event_digest.attach(sim)
         disk = SimulatedDisk(sim, "d0")
         model = LatentErrorModel(
             sim=sim, disk=disk, rng=RngRegistry(21), annual_lse_rate=0.0001
@@ -106,15 +118,26 @@ def _scrubbing() -> Dict:
             )
         else:
             latencies[f"{interval_hours:.0f}h"] = None
-    return {"detection_latency_hours": latencies}
+        if detect_races:
+            races.extend(sim.races)
+    return {"detection_latency_hours": latencies, "races": races}
 
 
-def run() -> Dict:
+def run(
+    detect_races: bool = False, event_digest: Optional[EventDigest] = None
+) -> Dict:
+    """Run all three studies.
+
+    ``detect_races`` turns on the kernel's same-timestamp race detector
+    for the event-driven paths (rebuild drill, scrubbing) and adds a
+    ``"races"`` entry to the result; ``event_digest`` folds every
+    simulator's execution order into the given digest.
+    """
     availability = _availability()
-    reconstruction = _reconstruction()
-    scrubbing = _scrubbing()
+    reconstruction = _reconstruction(detect_races, event_digest)
+    scrubbing = _scrubbing(detect_races, event_digest)
     drill = reconstruction["drill"]
-    return {
+    result: Dict = {
         "availability": availability,
         "reconstruction": reconstruction,
         "scrubbing": scrubbing,
@@ -130,6 +153,9 @@ def run() -> Dict:
             ),
         },
     }
+    if detect_races:
+        result["races"] = reconstruction["races"] + scrubbing["races"]
+    return result
 
 
 def main() -> str:

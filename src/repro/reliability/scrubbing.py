@@ -55,12 +55,19 @@ class LatentErrorModel:
         self._regions = max(1, self.disk.spec.capacity_bytes // self.region_bytes)
         self.sim.process(self._developer())
 
+    @property
+    def _resource(self) -> str:
+        """Race-detector tag: the LSE set is shared by the developer
+        process, application reads, and the scrubber."""
+        return f"lse:{self.disk.disk_id}"
+
     def _developer(self) -> Generator[Event, None, None]:
         """Poisson arrival of new latent errors."""
         mean = YEAR / self.annual_lse_rate
         while True:
             gap = -mean * math.log(1.0 - self._random.random())
             yield self.sim.timeout(gap)
+            self.sim.touch_resource(self._resource, write=True)
             self.errors.add(self._random.randrange(self._regions))
 
     # -- read-path hooks ----------------------------------------------------
@@ -72,6 +79,7 @@ class LatentErrorModel:
 
     def check_read(self, offset: int, size: int) -> None:
         """Raise :class:`MediaError` if the read touches an LSE."""
+        self.sim.touch_resource(self._resource, write=False)
         for region in self.regions_of(offset, size):
             if region in self.errors:
                 self.detected.append((self.sim.now, region))
@@ -81,6 +89,7 @@ class LatentErrorModel:
 
     def repair(self, region: int) -> None:
         """Rewrite from redundancy: the region becomes clean again."""
+        self.sim.touch_resource(self._resource, write=True)
         if region in self.errors:
             self.errors.discard(region)
             self.repaired.append((self.sim.now, region))

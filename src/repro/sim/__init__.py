@@ -4,12 +4,20 @@ from repro.sim.kernel import Event, Interrupt, SimulationError, Simulator, Timeo
 from repro.sim.process import Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import Counter, TimeSeries, TraceRecord, Tracer
+from repro.sim.trace import (
+    Counter,
+    EventDigest,
+    TimeSeries,
+    TraceRecord,
+    Tracer,
+    records_digest,
+)
 
 __all__ = [
     "Container",
     "Counter",
     "Event",
+    "EventDigest",
     "Interrupt",
     "Process",
     "Resource",
@@ -21,4 +29,5 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "Timeout",
+    "records_digest",
 ]

@@ -14,7 +14,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional
+
+if TYPE_CHECKING:  # avoid an import cycle: analysis only uses stdlib
+    from repro.analysis.races import Race, RaceDetector
+    from repro.sim.process import Process
 
 __all__ = [
     "Event",
@@ -36,7 +40,7 @@ class Interrupt(Exception):
     :meth:`repro.sim.process.Process.interrupt`.
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -65,7 +69,7 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -137,7 +141,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
         super().__init__(sim)
@@ -155,18 +159,58 @@ class Simulator:
         sim = Simulator()
         sim.process(my_generator_function(sim))
         sim.run(until=100.0)
+
+    With ``detect_races=True`` the simulator records, for every
+    ``(time, priority)`` bucket holding more than one event, which
+    shared resources the callbacks touched (via
+    :meth:`touch_resource`), and :attr:`races` reports buckets whose
+    ordering was decided only by insertion order while conflicting on a
+    resource — see :mod:`repro.analysis.races`.
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, detect_races: bool = False) -> None:
         self._now = float(start_time)
         self._queue: list[_ScheduledItem] = []
         self._seq = itertools.count()
         self._active = True
+        self._step_hooks: List[Callable[[float, int, int], None]] = []
+        self._race_detector: Optional["RaceDetector"] = None
+        if detect_races:
+            from repro.analysis.races import RaceDetector
+
+            self._race_detector = RaceDetector()
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- observability ---------------------------------------------------
+
+    def add_step_hook(self, hook: Callable[[float, int, int], None]) -> None:
+        """Call ``hook(time, priority, seq)`` before each event runs.
+
+        Used by :class:`repro.sim.trace.EventDigest` to fingerprint the
+        execution order for replay-determinism checks.
+        """
+        self._step_hooks.append(hook)
+
+    def touch_resource(self, resource: str, write: bool = True) -> None:
+        """Record a shared-resource touch for race detection.
+
+        No-op unless the simulator was built with ``detect_races=True``,
+        so instrumented resources can call this unconditionally.
+        """
+        if self._race_detector is not None:
+            self._race_detector.touch(resource, write)
+
+    @property
+    def races(self) -> "List[Race]":
+        """Same-timestamp conflicts observed so far (empty when
+        race detection is off)."""
+        if self._race_detector is None:
+            return []
+        return self._race_detector.report()
 
     # -- event creation ------------------------------------------------
 
@@ -271,7 +315,17 @@ class Simulator:
             raise SimulationError("no scheduled events")
         item = heapq.heappop(self._queue)
         self._now = item.time
-        item.event._process()
+        for hook in self._step_hooks:
+            hook(item.time, item.priority, item.seq)
+        detector = self._race_detector
+        if detector is None:
+            item.event._process()
+            return
+        detector.begin_event(item.time, item.priority, item.seq)
+        try:
+            item.event._process()
+        finally:
+            detector.end_event()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

@@ -27,7 +27,7 @@ class Process(Event):
 
     __slots__ = ("generator", "_waiting_on", "name")
 
-    def __init__(self, sim: Simulator, generator: Iterator[Event], name: str = ""):
+    def __init__(self, sim: Simulator, generator: Iterator[Event], name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process requires a generator, got {type(generator)!r}")

@@ -21,13 +21,21 @@ __all__ = ["Container", "Resource", "Store"]
 
 
 class Resource:
-    """A server with ``capacity`` concurrent slots and a FIFO wait queue."""
+    """A server with ``capacity`` concurrent slots and a FIFO wait queue.
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    Named resources participate in same-timestamp race detection: each
+    ``request``/``release`` reports a write-touch to the simulator, so
+    ``Simulator(detect_races=True)`` can flag grant orders that are
+    decided only by event insertion order.  Anonymous resources are not
+    tracked.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: Optional[str] = None) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self.users = 0
         self._waiters: Deque[Event] = deque()
 
@@ -37,6 +45,8 @@ class Resource:
 
     def request(self) -> Event:
         """Event that fires once a slot is held.  Pair with :meth:`release`."""
+        if self.name is not None:
+            self.sim.touch_resource(self.name, write=True)
         event = self.sim.event()
         if self.users < self.capacity:
             self.users += 1
@@ -49,6 +59,8 @@ class Resource:
         """Give back one slot, waking the next waiter if any."""
         if self.users <= 0:
             raise SimulationError("release() without a matching request()")
+        if self.name is not None:
+            self.sim.touch_resource(self.name, write=True)
         if self._waiters:
             self._waiters.popleft().succeed()
         else:
@@ -64,11 +76,21 @@ class Resource:
 
 
 class Store:
-    """An unbounded (or bounded) buffer of items; FIFO on both sides."""
+    """An unbounded (or bounded) buffer of items; FIFO on both sides.
 
-    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+    As with :class:`Resource`, giving a Store a ``name`` opts it into
+    same-timestamp race detection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        name: Optional[str] = None,
+    ) -> None:
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self.items: Deque[Any] = deque()
         self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
@@ -78,6 +100,8 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires once ``item`` is accepted into the store."""
+        if self.name is not None:
+            self.sim.touch_resource(self.name, write=True)
         event = self.sim.event()
         if self._getters:
             matched = self._dispatch_to_getter(item)
@@ -93,6 +117,8 @@ class Store:
 
     def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
         """Event that fires with the next item (matching ``predicate`` if given)."""
+        if self.name is not None:
+            self.sim.touch_resource(self.name, write=True)
         event = self.sim.event()
         item = self._take_matching(predicate)
         if item is not _NOTHING:
@@ -130,13 +156,24 @@ _NOTHING = object()
 
 
 class Container:
-    """A continuous quantity with blocking get/put."""
+    """A continuous quantity with blocking get/put.
 
-    def __init__(self, sim: Simulator, capacity: float = float("inf"), init: float = 0.0):
+    As with :class:`Resource`, naming a Container opts it into
+    same-timestamp race detection.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+        name: Optional[str] = None,
+    ) -> None:
         if init < 0 or init > capacity:
             raise SimulationError(f"init {init} outside [0, {capacity}]")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self.level = float(init)
         self._getters: Deque[tuple[Event, float]] = deque()
         self._putters: Deque[tuple[Event, float]] = deque()
@@ -144,6 +181,8 @@ class Container:
     def get(self, amount: float) -> Event:
         if amount < 0:
             raise SimulationError(f"negative get amount {amount}")
+        if self.name is not None:
+            self.sim.touch_resource(self.name, write=True)
         event = self.sim.event()
         self._getters.append((event, amount))
         self._drain()
@@ -152,6 +191,8 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount < 0:
             raise SimulationError(f"negative put amount {amount}")
+        if self.name is not None:
+            self.sim.touch_resource(self.name, write=True)
         event = self.sim.event()
         self._putters.append((event, amount))
         self._drain()

@@ -18,7 +18,7 @@ __all__ = ["RngRegistry"]
 class RngRegistry:
     """Factory for per-component :class:`random.Random` streams."""
 
-    def __init__(self, master_seed: int = 0):
+    def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = int(master_seed)
         self._streams: Dict[str, random.Random] = {}
 

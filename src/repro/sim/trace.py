@@ -9,11 +9,22 @@ directly.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional
 
-__all__ = ["Counter", "TimeSeries", "TraceRecord", "Tracer"]
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
+
+__all__ = [
+    "Counter",
+    "EventDigest",
+    "TimeSeries",
+    "TraceRecord",
+    "Tracer",
+    "records_digest",
+]
 
 
 @dataclass(frozen=True)
@@ -21,13 +32,57 @@ class TraceRecord:
     time: float
     channel: str
     message: str
-    data: dict = field(default_factory=dict)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def canonical(self) -> str:
+        """A stable one-line serialization for digesting."""
+        payload = ",".join(f"{k}={self.data[k]!r}" for k in sorted(self.data))
+        return f"{self.time!r}|{self.channel}|{self.message}|{payload}"
+
+
+def records_digest(records: Iterable[TraceRecord]) -> str:
+    """SHA-256 over a canonical serialization of ``records``.
+
+    Two runs are replay-identical iff their digests match byte for
+    byte; the replay-determinism regression tests rely on this.
+    """
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(record.canonical().encode())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class EventDigest:
+    """Streaming fingerprint of a kernel's event execution order.
+
+    Attach to one or more simulators; every processed event folds its
+    ``(time, priority, seq)`` triple into a running SHA-256.  Identical
+    digests mean the runs popped exactly the same events in exactly the
+    same order — the strongest replay-equality check we have, without
+    storing millions of records.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.events = 0
+
+    def attach(self, sim: "Simulator") -> "EventDigest":
+        sim.add_step_hook(self.record)
+        return self
+
+    def record(self, time: float, priority: int, seq: int) -> None:
+        self._hash.update(f"{time!r}|{priority}|{seq}\n".encode())
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
 
 
 class Tracer:
     """Append-only trace log with per-channel filtering and subscribers."""
 
-    def __init__(self, clock: Callable[[], float]):
+    def __init__(self, clock: Callable[[], float]) -> None:
         self._clock = clock
         self.records: List[TraceRecord] = []
         self._subscribers: List[Callable[[TraceRecord], None]] = []
@@ -50,6 +105,10 @@ class Tracer:
     def since(self, time: float) -> List[TraceRecord]:
         return [r for r in self.records if r.time >= time]
 
+    def digest(self) -> str:
+        """Replay fingerprint of everything recorded so far."""
+        return records_digest(self.records)
+
     def clear(self) -> None:
         self.records.clear()
 
@@ -57,7 +116,7 @@ class Tracer:
 class TimeSeries:
     """(time, value) samples with simple statistics."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self.times: List[float] = []
         self.values: List[float] = []
@@ -129,7 +188,7 @@ class TimeSeries:
 class Counter:
     """Named monotonically increasing counters."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._counts: Dict[str, int] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:

@@ -67,7 +67,9 @@ class UsbBus:
         self._os_view: Dict[str, set] = {h: set() for h in fabric.hosts()}
         # Disks handed to a host's enumeration queue but not yet visible.
         self._enumerating: Dict[str, set] = {h: set() for h in fabric.hosts()}
-        self._enum_queue: Dict[str, Store] = {h: Store(sim) for h in fabric.hosts()}
+        self._enum_queue: Dict[str, Store] = {
+            h: Store(sim, name=f"usb-enum:{h}") for h in fabric.hosts()
+        }
         self.events: List[HotplugEvent] = []
         self._disk_powered: Dict[str, bool] = {
             d.node_id: True for d in fabric.disks

@@ -43,18 +43,18 @@ def cold_read_trace(
     spun-down disk pays a spin-up on most accesses, which is exactly
     the trade-off the adaptive policy ablation explores.
     """
-    random = rng.stream(stream)
+    rand = rng.stream(stream)
     events: List[AccessEvent] = []
     t = 0.0
     blocks = max(1, region_bytes // object_size)
     while True:
-        t += -mean_interarrival * math.log(1.0 - random.random())
+        t += -mean_interarrival * math.log(1.0 - rand.random())
         if t >= duration:
             break
         events.append(
             AccessEvent(
                 time=t,
-                offset=random.randrange(blocks) * object_size,
+                offset=rand.randrange(blocks) * object_size,
                 size=object_size,
                 is_read=True,
             )

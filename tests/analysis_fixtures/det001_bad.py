@@ -1,0 +1,17 @@
+"""Fixture: DET001 — direct use of the global random module."""
+
+import random
+from random import choice
+
+
+def pick_disk(disks):
+    return choice(disks)
+
+
+def jitter():
+    return random.random() * 0.5
+
+
+def shuffle_hosts(hosts):
+    random.shuffle(hosts)
+    return hosts

@@ -1,0 +1,10 @@
+"""Fixture: clean counterpart to det001_bad — draws from named streams."""
+
+
+def pick_disk(rng, disks):
+    rand = rng.stream("placement")
+    return disks[rand.randrange(len(disks))]
+
+
+def jitter(rng):
+    return rng.stream("jitter").random() * 0.5

@@ -1,0 +1,17 @@
+"""Fixture: DET002 — wall-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_record():
+    return time.time()
+
+
+def measure():
+    return monotonic()
+
+
+def label_run():
+    return datetime.now().isoformat()

@@ -1,0 +1,13 @@
+"""Fixture: clean counterpart to det002_bad — uses simulated time."""
+
+from datetime import datetime, timezone
+
+
+def stamp_record(sim):
+    return sim.now
+
+
+def label_run(sim):
+    # Deriving a datetime from simulated time is fine; only argless
+    # now()/today() read the wall clock.
+    return datetime.fromtimestamp(sim.now, tz=timezone.utc).isoformat()

@@ -1,0 +1,19 @@
+"""Fixture: DET003 — set iteration order feeds event scheduling."""
+
+
+def boot_hosts(sim, hosts):
+    pending = set(hosts)
+    for host in pending:
+        sim.schedule(host)
+
+
+def kick_literal(sim):
+    for host in {"h0", "h1", "h2"}:
+        sim.call_in(0.0, host)
+
+
+class Fabric:
+    members: set
+
+    def wake_all(self, sim):
+        return [sim.process(member) for member in self.members]

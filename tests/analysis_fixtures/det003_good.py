@@ -1,0 +1,16 @@
+"""Fixture: clean counterpart to det003_bad — sorted before scheduling."""
+
+
+def boot_hosts(sim, hosts):
+    pending = set(hosts)
+    for host in sorted(pending):
+        sim.schedule(host)
+
+
+def tally(hosts):
+    # Iterating a set is fine when nothing is scheduled from the loop.
+    seen = set(hosts)
+    total = 0
+    for host in seen:
+        total += len(host)
+    return total

@@ -1,0 +1,17 @@
+"""Fixture: DET004 — mutable defaults shared across calls/instances."""
+
+from collections import defaultdict
+
+
+def enqueue(item, queue=[]):
+    queue.append(item)
+    return queue
+
+
+def index(key, table=defaultdict(list)):
+    return table[key]
+
+
+class Registry:
+    entries = {}
+    counters: dict = dict()

@@ -1,0 +1,16 @@
+"""Fixture: clean counterpart to det004_bad — None defaults, factories."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def enqueue(item, queue: Optional[List] = None):
+    if queue is None:
+        queue = []
+    queue.append(item)
+    return queue
+
+
+@dataclass
+class Registry:
+    entries: Dict[str, int] = field(default_factory=dict)

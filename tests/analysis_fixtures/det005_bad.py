@@ -1,0 +1,10 @@
+"""Fixture: DET005 — binding the name ``random`` shadows the module."""
+
+
+def synthetic_dataset(rng):
+    random = rng.stream("dataset")
+    return [random.randrange(256) for _ in range(8)]
+
+
+def consume(random):
+    return random.random()

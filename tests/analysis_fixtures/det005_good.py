@@ -1,0 +1,10 @@
+"""Fixture: clean counterpart to det005_bad — streams named explicitly."""
+
+
+def synthetic_dataset(rng):
+    rand = rng.stream("dataset")
+    return [rand.randrange(256) for _ in range(8)]
+
+
+def consume(rand):
+    return rand.random()

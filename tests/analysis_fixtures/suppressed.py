@@ -1,0 +1,11 @@
+"""Fixture: every violation here carries an inline suppression."""
+
+import random  # repro-lint: ignore[DET001]
+
+
+def legacy_jitter():
+    return random.random()  # repro-lint: ignore[DET001, DET005]
+
+
+def scratch(queue=[]):  # repro-lint: ignore[all]
+    return queue

@@ -1,0 +1,96 @@
+"""Same-timestamp race detector: synthetic conflicts and benign cases."""
+
+from repro.analysis import Race, RaceDetector
+from repro.sim import Simulator, Store
+
+
+def writer(sim, store, item):
+    yield sim.timeout(1.0)
+    store.put(item)
+
+
+def test_same_timestamp_writes_to_named_store_flagged():
+    sim = Simulator(detect_races=True)
+    store = Store(sim, name="mailbox")
+    sim.process(writer(sim, store, "a"))
+    sim.process(writer(sim, store, "b"))
+    sim.run()
+    races = sim.races
+    assert len(races) == 1
+    race = races[0]
+    assert race.resource == "mailbox"
+    assert race.time == 1.0
+    assert len(race.seqs) == 2
+    assert "mailbox" in race.render()
+
+
+def test_different_timestamps_not_flagged():
+    sim = Simulator(detect_races=True)
+    store = Store(sim, name="mailbox")
+
+    def staggered(delay, item):
+        yield sim.timeout(delay)
+        store.put(item)
+
+    sim.process(staggered(1.0, "a"))
+    sim.process(staggered(2.0, "b"))
+    sim.run()
+    assert sim.races == []
+
+
+def test_anonymous_store_untracked():
+    sim = Simulator(detect_races=True)
+    store = Store(sim)  # no name: opted out of detection
+    sim.process(writer(sim, store, "a"))
+    sim.process(writer(sim, store, "b"))
+    sim.run()
+    assert sim.races == []
+
+
+def test_concurrent_reads_benign():
+    sim = Simulator(detect_races=True)
+
+    def reader():
+        yield sim.timeout(1.0)
+        sim.touch_resource("config", write=False)
+
+    sim.process(reader())
+    sim.process(reader())
+    sim.run()
+    assert sim.races == []
+
+
+def test_read_write_conflict_flagged():
+    sim = Simulator(detect_races=True)
+
+    def toucher(write):
+        yield sim.timeout(1.0)
+        sim.touch_resource("config", write=write)
+
+    sim.process(toucher(True))
+    sim.process(toucher(False))
+    sim.run()
+    races = sim.races
+    assert len(races) == 1
+    assert races[0].writes == 1
+
+
+def test_detection_off_by_default():
+    sim = Simulator()
+    store = Store(sim, name="mailbox")
+    sim.process(writer(sim, store, "a"))
+    sim.process(writer(sim, store, "b"))
+    sim.run()
+    assert sim.races == []
+
+
+def test_detector_touch_outside_event_is_noop():
+    detector = RaceDetector()
+    detector.touch("resource", write=True)
+    assert detector.report() == []
+
+
+def test_race_is_plain_data():
+    race = Race(time=1.0, priority=0, resource="r", seqs=(3, 4), writes=2)
+    assert "r" in race.render()
+    assert race == Race(time=1.0, priority=0, resource="r", seqs=(3, 4), writes=2)

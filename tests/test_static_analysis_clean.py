@@ -1,0 +1,86 @@
+"""CI gate: the tree itself must pass its own determinism lint.
+
+This keeps ``python -m repro lint src/repro`` at zero unsuppressed
+findings as part of the default pytest run, and checks the standalone
+``scripts/run_static_analysis.py`` entrypoint's exit-status contract.
+The mypy pass runs only when mypy is installed (the container may not
+ship it); the script skips it gracefully either way.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Linter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "run_static_analysis.py"
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def test_tree_has_zero_unsuppressed_findings():
+    report = Linter().lint_paths([str(SRC_REPRO)])
+    assert report.ok, "\n" + report.render(audit=True)
+
+
+def test_script_exits_zero_on_clean_tree():
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT)], capture_output=True, text=True
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_script_exits_nonzero_on_findings():
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--no-mypy",
+            str(FIXTURES / "det001_bad.py"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 1
+    assert "DET001" in completed.stdout
+
+
+def test_script_audit_lists_suppressions():
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--no-mypy",
+            "--audit",
+            str(FIXTURES / "suppressed.py"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0
+    assert "Suppressions in effect" in completed.stdout
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None, reason="mypy not installed"
+)
+def test_mypy_strict_packages_clean():
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            str(REPO_ROOT / "pyproject.toml"),
+            str(SRC_REPRO / "sim"),
+            str(SRC_REPRO / "analysis"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
