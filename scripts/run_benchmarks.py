@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Record wall-clock and sim-throughput benchmarks into BENCH_*.json.
+
+Runs experiments from the :data:`repro.experiments.EXPERIMENTS`
+registry, times them on the wall clock, pulls the simulated event count
+from each run's obs registry dump, and appends one record per run to
+``BENCH_<experiment>.json`` (a JSON list).  Successive CI runs
+accumulate records so throughput regressions show up as a series.
+
+Wall-clock use is fine here: this script measures the *simulator*, it
+never feeds timestamps into it (and ``scripts/`` is outside the
+determinism linter's reach by design).
+
+Usage::
+
+    python scripts/run_benchmarks.py                 # figure5 only (smoke)
+    python scripts/run_benchmarks.py figure5 duplex  # chosen experiments
+    python scripts/run_benchmarks.py --repeat 3      # best-of-3 wall time
+    python scripts/run_benchmarks.py --out-dir /tmp  # write elsewhere
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.experiments import EXPERIMENTS  # noqa: E402
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def bench_one(name: str, repeat: int) -> Dict:
+    """Run ``name`` ``repeat`` times; report best wall time + counters."""
+    experiment = EXPERIMENTS.get(name)
+    wall_times: List[float] = []
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = experiment.run()
+        wall_times.append(time.perf_counter() - started)
+    assert result is not None
+    obs = result.obs or {}
+    counters = obs.get("counters", {})
+    sim_events = counters.get("sim.events", 0.0)
+    best_wall = min(wall_times)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "experiment": name,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "repeat": repeat,
+        "wall_seconds": round(best_wall, 4),
+        "wall_seconds_all": [round(t, 4) for t in wall_times],
+        "sim_events": sim_events,
+        "sim_events_per_wall_second": (
+            round(sim_events / best_wall, 1) if best_wall > 0 else None
+        ),
+        "counters": {k: v for k, v in sorted(counters.items())},
+    }
+
+
+def append_record(out_dir: Path, record: Dict) -> Path:
+    path = out_dir / f"BENCH_{record['experiment']}.json"
+    history: List[Dict] = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help="experiments to benchmark (default: figure5)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="runs per experiment (best wall time)"
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory for BENCH_*.json files (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or ["figure5"]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for name in names:
+        record = bench_one(name, max(1, args.repeat))
+        path = append_record(args.out_dir, record)
+        print(
+            f"{name}: {record['wall_seconds']}s wall, "
+            f"{record['sim_events']:.0f} sim events "
+            f"({record['sim_events_per_wall_second']} ev/s) -> {path}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

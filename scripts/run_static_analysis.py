@@ -4,7 +4,8 @@
 Exit status is nonzero when any unsuppressed finding or type error is
 reported, so this doubles as the CI gate
 (``tests/test_static_analysis_clean.py`` runs the same checks inside
-the default pytest run).
+the default pytest run).  The mypy pass applies the pyproject strict
+profile to ``repro.sim``, ``repro.analysis`` and ``repro.obs``.
 
 Usage::
 

@@ -4,44 +4,79 @@ Usage::
 
     python -m repro list                 # available experiments
     python -m repro run table2           # one experiment's report
+    python -m repro run figure5 --json   # versioned ExperimentResult JSON
     python -m repro run all              # everything (slow)
     python -m repro cost                 # Table I quick view
     python -m repro validate --hosts 4 --disks-per-leaf 2
     python -m repro lint [paths...]      # determinism linter (src/repro)
-    python -m repro check-determinism    # replay + race-detector check
+    python -m repro check-determinism    # replay + race-detector + metrics check
+
+``run``, ``validate`` and ``check-determinism`` share the same
+``--json`` / ``--seed`` flags: ``--json`` switches the command's output
+to a machine-readable document, ``--seed`` overrides the RNG seed of
+any experiment that declares one (others run with their defaults).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["main"]
 
 
+def _add_common_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--json`` / ``--seed`` builder for run/validate/check."""
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit a machine-readable JSON document instead of a report",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the RNG seed of experiments that declare one",
+    )
+
+
+def _experiment_overrides(experiment, seed: Optional[int]) -> Dict[str, int]:
+    """Build parameter overrides, passing ``seed`` only where declared."""
+    if seed is not None and "seed" in experiment.params:
+        return {"seed": seed}
+    return {}
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import EXPERIMENTS
 
     print("Available experiments:")
-    for name, module in ALL_EXPERIMENTS.items():
-        summary = (module.__doc__ or "").strip().splitlines()[0]
-        print(f"  {name:<14} {summary}")
+    for name in EXPERIMENTS.names():
+        experiment = EXPERIMENTS.get(name)
+        print(f"  {name:<14} [{experiment.paper_ref}] {experiment.description}")
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments import ALL_EXPERIMENTS
+    from repro.experiments import EXPERIMENTS
 
-    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    names = EXPERIMENTS.names() if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
     for name in names:
-        print(f"=== {name} ===")
-        print(ALL_EXPERIMENTS[name].main())
-        print()
+        experiment = EXPERIMENTS.get(name)
+        result = experiment.run(**_experiment_overrides(experiment, args.seed))
+        if args.as_json:
+            print(result.to_json())
+        else:
+            print(f"=== {name} ===")
+            print(result.render())
+            print()
     return 0
 
 
@@ -64,14 +99,32 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         require_full_reachability=args.hosts <= 4,
         enforce_intel_quirk=True,
     )
-    print(f"fabric: {fabric.name}")
-    print(f"  disks={len(fabric.disks)} hubs={len(fabric.hubs)} "
-          f"switches={len(fabric.switches)} ports={len(fabric.host_ports)}")
-    print(f"  valid: {report.ok}")
-    for error in report.errors:
-        print(f"  ERROR: {error}")
-    for warning in quirk.warnings:
-        print(f"  note: {warning}")
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "fabric": fabric.name,
+                    "disks": len(fabric.disks),
+                    "hubs": len(fabric.hubs),
+                    "switches": len(fabric.switches),
+                    "host_ports": len(fabric.host_ports),
+                    "valid": report.ok,
+                    "errors": list(report.errors),
+                    "notes": list(quirk.warnings),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"fabric: {fabric.name}")
+        print(f"  disks={len(fabric.disks)} hubs={len(fabric.hubs)} "
+              f"switches={len(fabric.switches)} ports={len(fabric.host_ports)}")
+        print(f"  valid: {report.ok}")
+        for error in report.errors:
+            print(f"  ERROR: {error}")
+        for warning in quirk.warnings:
+            print(f"  note: {warning}")
     return 0 if report.ok else 1
 
 
@@ -92,29 +145,55 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_check_determinism(args: argparse.Namespace) -> int:
     """Run the replay-sensitive experiments twice with the race detector
-    on and compare execution-order digests."""
+    and the metrics registry armed; compare execution-order digests and
+    the exported metric dumps byte for byte."""
     from repro.experiments import figure5, reliability
+    from repro.obs import MetricsRegistry, export_json
     from repro.sim import EventDigest
 
-    checks = {"figure5": figure5.run, "reliability": reliability.run}
+    def run_figure5(**kwargs):
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        return figure5.run(**kwargs)
+
+    checks = {"figure5": run_figure5, "reliability": reliability.run}
     failures = 0
+    report: Dict[str, Dict] = {}
     for name, runner in checks.items():
-        digests = []
+        digests: List[str] = []
+        dumps: List[str] = []
         races: List = []
         for _ in range(2):
             digest = EventDigest()
-            result = runner(detect_races=True, event_digest=digest)
+            registry = MetricsRegistry()
+            result = runner(
+                detect_races=True, event_digest=digest, metrics=registry
+            )
             digests.append(digest.hexdigest())
+            dumps.append(export_json(registry))
             races = result.get("races", [])
         identical = digests[0] == digests[1]
-        print(f"{name}:")
-        print(f"  replay digest: {digests[0][:16]}…  "
-              f"{'identical across runs' if identical else 'MISMATCH: ' + digests[1][:16]}")
-        print(f"  same-timestamp races: {len(races)}")
-        for race in races:
-            print(f"    {race.render()}")
-        if not identical or races:
+        metrics_identical = dumps[0] == dumps[1]
+        report[name] = {
+            "digest": digests[0],
+            "digest_identical": identical,
+            "metrics_identical": metrics_identical,
+            "races": len(races),
+        }
+        if not args.as_json:
+            print(f"{name}:")
+            print(f"  replay digest: {digests[0][:16]}…  "
+                  f"{'identical across runs' if identical else 'MISMATCH: ' + digests[1][:16]}")
+            print(f"  metric dump: "
+                  f"{'byte-identical across runs' if metrics_identical else 'MISMATCH'}")
+            print(f"  same-timestamp races: {len(races)}")
+            for race in races:
+                print(f"    {race.render()}")
+        if not identical or not metrics_identical or races:
             failures += 1
+    if args.as_json:
+        print(json.dumps({"checks": report, "ok": failures == 0},
+                         indent=2, sort_keys=True))
     return 0 if failures == 0 else 1
 
 
@@ -128,6 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
     run_parser.add_argument("experiment")
+    _add_common_flags(run_parser)
     run_parser.set_defaults(fn=_cmd_run)
 
     sub.add_parser("cost", help="print Table I").set_defaults(fn=_cmd_cost)
@@ -136,6 +216,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     validate_parser.add_argument("--hosts", type=int, default=4)
     validate_parser.add_argument("--disks-per-leaf", type=int, default=2)
     validate_parser.add_argument("--fan-in", type=int, default=4)
+    _add_common_flags(validate_parser)
     validate_parser.set_defaults(fn=_cmd_validate)
 
     lint_parser = sub.add_parser(
@@ -147,10 +228,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     lint_parser.set_defaults(fn=_cmd_lint)
 
-    sub.add_parser(
+    check_parser = sub.add_parser(
         "check-determinism",
-        help="replay experiments twice and run the same-timestamp race detector",
-    ).set_defaults(fn=_cmd_check_determinism)
+        help="replay experiments twice; compare digests, metric dumps and races",
+    )
+    _add_common_flags(check_parser)
+    check_parser.set_defaults(fn=_cmd_check_determinism)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -25,6 +25,7 @@ from repro.fabric.topology import Fabric
 from repro.hardware.microcontroller import ControlPlane
 from repro.hardware.relays import RelayBank
 from repro.net.network import Network
+from repro.obs import MetricsRegistry
 from repro.sim import RngRegistry, Simulator
 from repro.usbsim.bus import UsbBus
 from repro.usbsim.params import UsbQuirks, UsbTimingParams
@@ -72,6 +73,12 @@ class Deployment:
     def coord_servers(self) -> List[str]:
         return [r.address for r in self.coord_replicas]
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The obs registry every component of this deployment reports to
+        (the shared null registry unless one was passed at build time)."""
+        return self.sim.metrics
+
     def active_master(self) -> Optional[Master]:
         for master in self.masters:
             if master.active and master.alive:
@@ -110,10 +117,17 @@ class Deployment:
 def build_deployment(
     fabric: Optional[Fabric] = None,
     config: DeploymentConfig = DeploymentConfig(),
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Deployment:
     """Assemble a full UStore system around ``fabric`` (default: the
-    16-disk, 4-host prototype of §V-B)."""
-    sim = Simulator(detect_races=config.detect_races)
+    16-disk, 4-host prototype of §V-B).
+
+    Passing a :class:`~repro.obs.MetricsRegistry` arms the obs layer on
+    every component; the same registry may be reused across sequential
+    deployments to aggregate a whole experiment (the clock rebinds to
+    each new simulator).
+    """
+    sim = Simulator(detect_races=config.detect_races, metrics=metrics)
     rng = RngRegistry(config.seed)
     network = Network(sim, rng=rng)
     fabric = fabric or prototype_fabric()

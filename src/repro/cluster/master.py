@@ -76,6 +76,10 @@ class Master:
         self.active = False
         self.alive = True
         self.failovers_completed = 0
+        self._m_heartbeats = sim.metrics.counter("master.heartbeats")
+        self._m_allocations = sim.metrics.counter("master.allocations")
+        self._m_failovers = sim.metrics.counter("master.failovers")
+        self._m_failover_seconds = sim.metrics.histogram("master.failover_seconds")
 
         self.coord = CoordSession(sim, network, f"{address}.coord", coord_servers)
         self.rpc = RpcServer(sim, network, address)
@@ -182,6 +186,7 @@ class Master:
 
     def _on_heartbeat(self, payload: dict) -> bool:
         self._require_active()
+        self._m_heartbeats.inc()
         host_id = payload["host_id"]
         self.sysstat.last_heartbeat[host_id] = self.sim.now
         self.sysstat.host_status[host_id] = HostStatus.ONLINE
@@ -263,6 +268,7 @@ class Master:
             # StorAlloc is persisted synchronously before the reply (§IV-A).
             yield from self.coord.create(space_znode_path(space_id), record.as_dict())
             self.records[space_id] = record
+            self._m_allocations.inc()
             host_id = self.sysstat.disk_to_host[best]
             address = self.sysconf.host_addresses[host_id]
             yield from self.rpc_client.call(
@@ -460,19 +466,23 @@ class Master:
             for h in self.sysstat.online_hosts()
             if h != dead_host
         }
+        started = self.sim.now
         moved: Dict[str, str] = {}
-        for controller in controllers:
-            try:
-                moved = yield from self._fail_over_via(
-                    controller, orphans, dict(load)
-                )
-                if moved:
-                    break
-            except (RpcTimeout, RemoteError):
-                continue  # primary controller unreachable: try the backup
-        yield from self._re_expose(moved)
+        with self.sim.metrics.span("master.failover"):
+            for controller in controllers:
+                try:
+                    moved = yield from self._fail_over_via(
+                        controller, orphans, dict(load)
+                    )
+                    if moved:
+                        break
+                except (RpcTimeout, RemoteError):
+                    continue  # primary controller unreachable: try the backup
+            yield from self._re_expose(moved)
         if moved:
             self.failovers_completed += 1
+            self._m_failovers.inc()
+            self._m_failover_seconds.observe(self.sim.now - started)
 
     def _fail_over_via(
         self, controller: str, orphans: List[str], load: Dict[str, int]

@@ -21,6 +21,7 @@ from repro.disk.specs import (
     TOSHIBA_POWER_USB,
 )
 from repro.disk.states import DiskPowerState, DiskStateError, SpinStateMachine
+from repro.obs import DEFAULT_DEPTH_BUCKETS
 from repro.sim import Event, Resource, Simulator
 from repro.workload.specs import AccessPattern, WorkloadSpec
 
@@ -77,6 +78,17 @@ class SimulatedDisk:
         # Per-state residency bookkeeping for energy accounting.
         self._state_entered = sim.now
         self._residency: Dict[DiskPowerState, float] = {s: 0.0 for s in DiskPowerState}
+        # Obs instruments, fetched once; aggregated across all disks of a
+        # simulator so the dump stays small at deployment scale.
+        metrics = sim.metrics
+        self._m_ios = metrics.counter("disk.ios")
+        self._m_bytes_read = metrics.counter("disk.bytes_read")
+        self._m_bytes_written = metrics.counter("disk.bytes_written")
+        self._m_spin_ups = metrics.counter("disk.spin_ups")
+        self._m_queue_depth = metrics.histogram(
+            "disk.queue_depth", DEFAULT_DEPTH_BUCKETS
+        )
+        self._m_service = metrics.histogram("disk.service_seconds")
 
     # -- power-state handling --------------------------------------------
 
@@ -150,6 +162,7 @@ class SimulatedDisk:
         if self.states.state is DiskPowerState.SPINNING_UP:
             raise DiskBusyError("spin-up already in progress")
         self._enter_state(DiskPowerState.SPINNING_UP)
+        self._m_spin_ups.inc()
 
         def finish() -> None:
             self._enter_state(DiskPowerState.IDLE)
@@ -180,6 +193,8 @@ class SimulatedDisk:
 
     def submit(self, request: IoRequest) -> "Event":
         """Submit one I/O; returns a process event with the service time."""
+        # Depth seen by this request: in-service holders plus waiters.
+        self._m_queue_depth.observe(self._queue.users + self._queue.queue_length)
         return self.sim.process(self._serve(request))
 
     def _serve(self, request: IoRequest) -> Generator[Event, None, float]:
@@ -223,10 +238,14 @@ class SimulatedDisk:
             self._last_offset_end = request.offset + request.size
             self._last_io_end = self.sim.now
             self.completed_ios += 1
+            self._m_ios.inc()
+            self._m_service.observe(service)
             if request.is_read:
                 self.bytes_read += request.size
+                self._m_bytes_read.inc(request.size)
             else:
                 self.bytes_written += request.size
+                self._m_bytes_written.inc(request.size)
             if self.states.state is DiskPowerState.ACTIVE:
                 self._enter_state(DiskPowerState.IDLE)
             return service

@@ -14,8 +14,13 @@
 | ``host_failover``| §I — 5.8 s single-host recovery                 |
 | ``ablations``   | DESIGN.md §4 — design-choice studies             |
 
-Every module exposes ``run() -> dict`` (structured results) and
-``main() -> str`` (a printable report).
+Every module declares an ``EXPERIMENT`` (see
+:mod:`repro.experiments.base`), collected here into :data:`EXPERIMENTS`;
+running one returns a typed, versioned
+:class:`~repro.experiments.base.ExperimentResult`.  The legacy
+``run() -> dict`` / ``main() -> str`` entrypoints remain as thin,
+backward-compatible shims, and :data:`ALL_EXPERIMENTS` still maps names
+to modules.
 """
 
 from repro.experiments import (  # noqa: F401
@@ -31,6 +36,12 @@ from repro.experiments import (  # noqa: F401
     table3,
     table4,
     table5,
+)
+from repro.experiments.base import (  # noqa: F401
+    Experiment,
+    ExperimentRegistry,
+    ExperimentResult,
+    RESULT_SCHEMA_VERSION,
 )
 
 ALL_EXPERIMENTS = {
@@ -48,4 +59,16 @@ ALL_EXPERIMENTS = {
     "reliability": reliability,
 }
 
-__all__ = ["ALL_EXPERIMENTS"]
+EXPERIMENTS = ExperimentRegistry()
+for _module in ALL_EXPERIMENTS.values():
+    EXPERIMENTS.register(_module.EXPERIMENT)
+del _module
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EXPERIMENTS",
+    "Experiment",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "RESULT_SCHEMA_VERSION",
+]

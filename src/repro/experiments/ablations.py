@@ -20,6 +20,7 @@ from typing import Dict, Generator, List
 
 from repro.cluster.deployment import DeploymentConfig, build_deployment
 from repro.cluster.master import MasterConfig
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.disk.device import IoRequest, SimulatedDisk
 from repro.disk.specs import TOSHIBA_POWER_USB
 from repro.fabric.builders import dual_tree_fabric, prototype_fabric, ring_fabric
@@ -29,6 +30,7 @@ from repro.workload.specs import MB
 from repro.workload.traces import cold_read_trace
 
 __all__ = [
+    "EXPERIMENT",
     "allocation_policy_ablation",
     "fabric_width_ablation",
     "heartbeat_timeout_ablation",
@@ -219,10 +221,36 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
+def _build_result() -> ExperimentResult:
     import json
 
-    return json.dumps(run(), indent=2, default=str)
+    raw = run()
+    return ExperimentResult(
+        name="ablations",
+        paper_ref="DESIGN.md §4",
+        metrics={
+            "leaf_switched_blast_radius": raw["switch_placement"]["leaf_switched"][
+                "worst_hub_blast_radius"
+            ],
+            "upper_switched_blast_radius": raw["switch_placement"][
+                "upper_switched"
+            ]["worst_hub_blast_radius"],
+        },
+        raw=raw,
+        text=json.dumps(raw, indent=2, default=str),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="ablations",
+    paper_ref="DESIGN.md §4",
+    description="Design-choice ablation studies",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.deployment import Deployment
-from repro.fabric.switching import SwitchConflict, plan_switches
+from repro.fabric.switching import SwitchConflict, execute_plan, plan_switches
 from repro.fabric.topology import Fabric
 
 __all__ = [
@@ -16,10 +16,33 @@ __all__ = [
 ]
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
-    """Fixed-width text table (experiment reports)."""
+def _format_cell(value, spec: Optional[str]) -> str:
+    if value is None:
+        return "-"
+    if spec:
+        return format(value, spec)
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    formats: Optional[Sequence[Optional[str]]] = None,
+) -> str:
+    """Fixed-width text table (experiment reports).
+
+    ``formats`` optionally gives one :func:`format` spec per column
+    (e.g. ``".4f"`` or ``"+.1%"``); ``None`` entries keep the default
+    rendering (floats as ``.1f``).  Without it, small values such as
+    relative errors collapse to ``0.0`` — the per-column hook exists
+    precisely so result renderers can keep them legible.
+    """
+    specs: List[Optional[str]] = list(formats) if formats is not None else []
+    specs += [None] * (len(headers) - len(specs))
     columns = [
-        [str(h)] + [("-" if r[i] is None else f"{r[i]:.1f}" if isinstance(r[i], float) else str(r[i])) for r in rows]
+        [str(h)] + [_format_cell(r[i], specs[i]) for r in rows]
         for i, h in enumerate(headers)
     ]
     widths = [max(len(cell) for cell in col) for col in columns]
@@ -94,7 +117,7 @@ def gather_disks_on_host(deployment: Deployment, host: str, wanted: int) -> List
         if fabric.attached_host(siblings[0]) != host:
             try:
                 plan = plan_switches(fabric, [(d, host) for d in siblings])
-                fabric.apply_settings(plan.turns)
+                execute_plan(fabric, plan, metrics=deployment.metrics)
             except SwitchConflict:
                 pass
         group += 1

@@ -7,28 +7,31 @@ sustain ~2160 MB/s in aggregate.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.cluster.deployment import build_deployment
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import relative_error
+from repro.obs import MetricsRegistry
 from repro.workload.iometer import model_throughput
 from repro.workload.specs import WorkloadSpec
 
-__all__ = ["run"]
+__all__ = ["EXPERIMENT", "run"]
 
 PAPER_PER_PORT = 540.0
 PAPER_AGGREGATE = 2160.0
 
 
-def run() -> Dict:
-    deployment = build_deployment()
+def run(metrics: Optional[MetricsRegistry] = None) -> Dict:
+    deployment = build_deployment(metrics=metrics)
     fabric = deployment.fabric
     spec = WorkloadSpec.parse("4MB-S-R")
 
     host0_disks = [d for d, h in fabric.attachment_map().items() if h == "host0"]
-    per_port = model_throughput(fabric, host0_disks, spec, duplex_split=True)
+    per_port = model_throughput(fabric, host0_disks, spec, duplex_split=True, metrics=metrics)
 
     all_disks = sorted(fabric.attachment_map())
-    aggregate = model_throughput(fabric, all_disks, spec, duplex_split=True)
+    aggregate = model_throughput(fabric, all_disks, spec, duplex_split=True, metrics=metrics)
     return {
         "per_port_mb_s": per_port["total_bytes_per_second"] / 1e6,
         "aggregate_mb_s": aggregate["total_bytes_per_second"] / 1e6,
@@ -37,8 +40,7 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     return (
         "Duplex throughput (half reads / half writes, 4MB sequential)\n\n"
         f"  one root port: {result['per_port_mb_s']:.0f} MB/s "
@@ -46,6 +48,42 @@ def main() -> str:
         f"  four ports:    {result['aggregate_mb_s']:.0f} MB/s "
         f"(paper: {result['paper_aggregate']:.0f})"
     )
+
+
+def _build_result() -> ExperimentResult:
+    registry = MetricsRegistry()
+    raw = run(metrics=registry)
+    return ExperimentResult(
+        name="duplex",
+        paper_ref="§VII-A (duplex)",
+        metrics={
+            "per_port_mb_s": raw["per_port_mb_s"],
+            "aggregate_mb_s": raw["aggregate_mb_s"],
+        },
+        paper_expected={
+            "per_port_mb_s": PAPER_PER_PORT,
+            "aggregate_mb_s": PAPER_AGGREGATE,
+        },
+        relative_errors={
+            "per_port": relative_error(raw["per_port_mb_s"], PAPER_PER_PORT),
+            "aggregate": relative_error(raw["aggregate_mb_s"], PAPER_AGGREGATE),
+        },
+        obs=registry.dump(),
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="duplex",
+    paper_ref="§VII-A (duplex)",
+    description="Full-duplex throughput: 540 MB/s per port, 2160 MB/s total",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

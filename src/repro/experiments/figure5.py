@@ -15,40 +15,52 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.cluster.deployment import DeploymentConfig, build_deployment
-from repro.experiments.common import format_table, gather_disks_on_host
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import format_table, gather_disks_on_host, relative_error
+from repro.obs import MetricsRegistry
 from repro.sim import EventDigest
 from repro.workload.iometer import model_throughput
 from repro.workload.specs import WorkloadSpec
 
-__all__ = ["DISK_COUNTS", "WORKLOADS", "run"]
+__all__ = ["DISK_COUNTS", "EXPERIMENT", "WORKLOADS", "run"]
 
 DISK_COUNTS = (1, 2, 4, 8, 12)
 WORKLOADS = ("4KB-S-R", "4KB-S-W", "4KB-R-R", "4MB-S-R", "4MB-S-W", "4MB-R-R")
 
+#: §VII-A: "two disks are enough to fill up the root hub's bandwidth,
+#: which is around 300MB/s".
+PAPER_ROOT_PORT_MB_S = 300.0
+
 
 def run(
-    detect_races: bool = False, event_digest: Optional[EventDigest] = None
+    detect_races: bool = False,
+    event_digest: Optional[EventDigest] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    seed: int = 7,
 ) -> Dict:
     """Run the experiment.
 
     ``detect_races`` enables the kernel's same-timestamp race detector
     on every deployment built (adds a ``"races"`` entry to the result);
     ``event_digest`` folds every simulator's execution order into the
-    given digest for replay-determinism checks.
+    given digest for replay-determinism checks; ``metrics`` arms the
+    obs layer on every deployment (one shared registry aggregating all
+    five disk counts); ``seed`` feeds the deployments' RNG registry.
     """
     series: Dict[str, List[float]] = {name: [] for name in WORKLOADS}
     per_disk_even = True
     races: List = []
     for count in DISK_COUNTS:
         deployment = build_deployment(
-            config=DeploymentConfig(detect_races=detect_races)
+            config=DeploymentConfig(detect_races=detect_races, seed=seed),
+            metrics=metrics,
         )
         if event_digest is not None:
             event_digest.attach(deployment.sim)
         disks = gather_disks_on_host(deployment, "host0", count)
         for name in WORKLOADS:
             spec = WorkloadSpec.parse(name)
-            result = model_throughput(deployment.fabric, disks, spec)
+            result = model_throughput(deployment.fabric, disks, spec, metrics=metrics)
             series[name].append(result["total_bytes_per_second"] / 1e6)
             shares = list(result["per_disk"].values())
             if max(shares) - min(shares) > 1e-3 * max(shares):
@@ -85,14 +97,51 @@ def run(
     return result_dict
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Figure 5: total MB/s of N disks on one host (model)", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     lines.append("")
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
     return "\n".join(lines)
+
+
+def _build_result(seed: int = 7, detect_races: bool = False) -> ExperimentResult:
+    registry = MetricsRegistry()
+    raw = run(detect_races=detect_races, metrics=registry, seed=seed)
+    two_disk_4mb = raw["series_mb_per_s"]["4MB-S-R"][1]
+    return ExperimentResult(
+        name="figure5",
+        paper_ref="Figure 5 / §VII-A",
+        params={"seed": seed, "detect_races": detect_races},
+        metrics={
+            "series_mb_per_s": raw["series_mb_per_s"],
+            "two_disk_4mb_seq_read_mb_s": two_disk_4mb,
+        },
+        paper_expected={"root_port_mb_s": PAPER_ROOT_PORT_MB_S},
+        relative_errors={
+            "two_disk_4mb_seq_read": relative_error(
+                two_disk_4mb, PAPER_ROOT_PORT_MB_S
+            )
+        },
+        anchors=dict(raw["anchors"]),
+        obs=registry.dump(),
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="figure5",
+    paper_ref="Figure 5 / §VII-A",
+    description="Multi-disk throughput scaling on one host",
+    builder=_build_result,
+    params={"seed": 7, "detect_races": False},
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

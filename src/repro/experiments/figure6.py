@@ -19,21 +19,27 @@ from typing import Dict, Generator, List, Optional
 
 from repro.cluster.deployment import DeploymentConfig, build_deployment
 from repro.cluster.namespace import target_name
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import conflict_free_batch, format_table
 from repro.net.rpc import RpcClient
+from repro.obs import MetricsRegistry
 from repro.sim import Event
 from repro.workload.specs import KB, MB
 
-__all__ = ["DISK_COUNTS", "run", "run_single"]
+__all__ = ["DISK_COUNTS", "EXPERIMENT", "run", "run_single"]
 
 DISK_COUNTS = (1, 2, 4, 6, 8)
 REPETITIONS = 6
 TARGET_HOST = "host3"
 
 
-def run_single(count: int, seed: int) -> Dict[str, float]:
+def run_single(
+    count: int, seed: int, metrics: Optional[MetricsRegistry] = None
+) -> Dict[str, float]:
     """One switching trial; returns the three delay parts (seconds)."""
-    deployment = build_deployment(config=DeploymentConfig(seed=seed))
+    deployment = build_deployment(
+        config=DeploymentConfig(seed=seed), metrics=metrics
+    )
     deployment.settle(15.0)
     sim = deployment.sim
     fabric = deployment.fabric
@@ -120,12 +126,17 @@ def run_single(count: int, seed: int) -> Dict[str, float]:
 
 
 def run(
-    disk_counts=DISK_COUNTS, repetitions: int = REPETITIONS
+    disk_counts=DISK_COUNTS,
+    repetitions: int = REPETITIONS,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict:
     rows: List[List] = []
     series: Dict[int, Dict[str, float]] = {}
     for count in disk_counts:
-        trials = [run_single(count, seed=100 * count + r) for r in range(repetitions)]
+        trials = [
+            run_single(count, seed=100 * count + r, metrics=metrics)
+            for r in range(repetitions)
+        ]
         mean = {
             key: sum(t[key] for t in trials) / len(trials)
             for key in ("part1", "part2", "part3", "total")
@@ -163,14 +174,49 @@ def run(
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Figure 6: switching time decomposition (mean of repetitions)", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     lines.append("")
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
     return "\n".join(lines)
+
+
+def _build_result(repetitions: int = REPETITIONS) -> ExperimentResult:
+    registry = MetricsRegistry()
+    raw = run(repetitions=repetitions, metrics=registry)
+    return ExperimentResult(
+        name="figure6",
+        paper_ref="Figure 6 / §VII-A",
+        params={"repetitions": repetitions},
+        metrics={
+            "mean_total_seconds": {
+                str(c): raw["series"][c]["total"] for c in raw["series"]
+            }
+        },
+        paper_expected={
+            "part1_grows_with_count": True,
+            "part2_and_part3_stable": True,
+        },
+        anchors=dict(raw["anchors"]),
+        obs=registry.dump(),
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="figure6",
+    paper_ref="Figure 6 / §VII-A",
+    description="Switching-time decomposition vs number of disks switched",
+    builder=_build_result,
+    params={"repetitions": REPETITIONS},
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

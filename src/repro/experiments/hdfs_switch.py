@@ -12,16 +12,18 @@ switched to another host.  Expected observations:
 
 from __future__ import annotations
 
-from typing import Dict, Generator
+from typing import Dict, Generator, Optional
 
 from repro.cluster.deployment import build_deployment
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.fabric.switching import SwitchConflict, plan_switches
 from repro.hdfs import build_hdfs_on_ustore
 from repro.net.rpc import RpcClient
+from repro.obs import MetricsRegistry
 from repro.sim import Event
 from repro.workload.specs import MB
 
-__all__ = ["run"]
+__all__ = ["EXPERIMENT", "run"]
 
 FILE_BYTES = 192 * MB
 SWITCH_AFTER = 5.0
@@ -40,8 +42,8 @@ def _conflict_free_target(fabric, disk: str) -> str:
     raise RuntimeError(f"no conflict-free target for {disk}")
 
 
-def run() -> Dict:
-    deployment = build_deployment()
+def run(metrics: Optional[MetricsRegistry] = None) -> Dict:
+    deployment = build_deployment(metrics=metrics)
     deployment.settle(15.0)
     sim = deployment.sim
     hdfs = sim.run_until_event(sim.process(build_hdfs_on_ustore(deployment)))
@@ -112,8 +114,7 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = [
         "HDFS-on-UStore disk switch (paper §VII-B)",
         "",
@@ -130,6 +131,41 @@ def main() -> str:
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
     return "\n".join(lines)
+
+
+def _build_result() -> ExperimentResult:
+    registry = MetricsRegistry()
+    raw = run(metrics=registry)
+    return ExperimentResult(
+        name="hdfs_switch",
+        paper_ref="§VII-B",
+        metrics={
+            "write_seconds": raw["write_seconds"],
+            "slowest_packet_s": raw["slowest_packet_s"],
+            "read_seconds": raw["read_seconds"],
+            "pipelines_rebuilt": raw["pipelines_rebuilt"],
+        },
+        paper_expected={
+            "disruption": "seconds-long error window, then resume",
+            "reads": "not interrupted (three replicas)",
+        },
+        anchors=dict(raw["anchors"]),
+        obs=registry.dump(),
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="hdfs_switch",
+    paper_ref="§VII-B",
+    description="HDFS-on-UStore write/read across a live disk switch",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

@@ -9,20 +9,27 @@ A mounted client confirms end-to-end service resumption.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Dict, Generator, List, Optional
 
 from repro.cluster.deployment import DeploymentConfig, build_deployment
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import relative_error
+from repro.obs import MetricsRegistry
 from repro.sim import Event
 from repro.workload.specs import KB, MB
 
-__all__ = ["run", "run_single"]
+__all__ = ["EXPERIMENT", "run", "run_single"]
 
 PAPER_RECOVERY_SECONDS = 5.8
 REPETITIONS = 4
 
 
-def run_single(victim: str, seed: int) -> Dict[str, float]:
-    deployment = build_deployment(config=DeploymentConfig(seed=seed))
+def run_single(
+    victim: str, seed: int, metrics: Optional[MetricsRegistry] = None
+) -> Dict[str, float]:
+    deployment = build_deployment(
+        config=DeploymentConfig(seed=seed), metrics=metrics
+    )
     deployment.settle(15.0)
     sim = deployment.sim
     master = deployment.active_master()
@@ -78,12 +85,14 @@ def run_single(victim: str, seed: int) -> Dict[str, float]:
     }
 
 
-def run(repetitions: int = REPETITIONS) -> Dict:
+def run(
+    repetitions: int = REPETITIONS, metrics: Optional[MetricsRegistry] = None
+) -> Dict:
     trials: List[Dict[str, float]] = []
     hosts = ["host0", "host1", "host2", "host3"]
     for index in range(repetitions):
         victim = hosts[index % len(hosts)]
-        trials.append(run_single(victim, seed=37 + index))
+        trials.append(run_single(victim, seed=37 + index, metrics=metrics))
     mean_reattach = sum(t["reattach_seconds"] for t in trials) / len(trials)
     mean_service = sum(t["service_resumed_seconds"] for t in trials) / len(trials)
     return {
@@ -101,8 +110,7 @@ def run(repetitions: int = REPETITIONS) -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Single-host failover (paper: 5.8 s)", ""]
     for trial in result["trials"]:
         lines.append(
@@ -120,6 +128,43 @@ def main() -> str:
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
     return "\n".join(lines)
+
+
+def _build_result(repetitions: int = REPETITIONS) -> ExperimentResult:
+    registry = MetricsRegistry()
+    raw = run(repetitions=repetitions, metrics=registry)
+    return ExperimentResult(
+        name="host_failover",
+        paper_ref="§I / §IV-E",
+        params={"repetitions": repetitions},
+        metrics={
+            "mean_reattach_seconds": raw["mean_reattach_seconds"],
+            "mean_service_resumed_seconds": raw["mean_service_resumed_seconds"],
+        },
+        paper_expected={"recovery_seconds": PAPER_RECOVERY_SECONDS},
+        relative_errors={
+            "mean_reattach": relative_error(
+                raw["mean_reattach_seconds"], PAPER_RECOVERY_SECONDS
+            )
+        },
+        anchors=dict(raw["anchors"]),
+        obs=registry.dump(),
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="host_failover",
+    paper_ref="§I / §IV-E",
+    description="Single-host crash recovery (paper: 5.8 s)",
+    builder=_build_result,
+    params={"repetitions": REPETITIONS},
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

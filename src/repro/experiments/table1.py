@@ -10,9 +10,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.cost import cost_table, ustore_savings_vs_backblaze
-from repro.experiments.common import format_table
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import format_table, relative_error
 
-__all__ = ["PAPER_TABLE1", "run"]
+__all__ = ["EXPERIMENT", "PAPER_TABLE1", "run"]
 
 #: Paper values, thousands of dollars: (CapEx, AttEx).
 PAPER_TABLE1 = {
@@ -48,8 +49,7 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Table I: estimated CapEx of a 10PB raw deployment", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     lines.append("")
@@ -58,6 +58,42 @@ def main() -> str:
         f"(paper: 24%), AttEx {result['attex_saving_vs_backblaze']:.0%} lower (paper: 55%)"
     )
     return "\n".join(lines)
+
+
+def _build_result() -> ExperimentResult:
+    raw = run()
+    claims = raw["paper_claims"]
+    return ExperimentResult(
+        name="table1",
+        paper_ref="Table I",
+        metrics={
+            "capex_saving_vs_backblaze": raw["capex_saving_vs_backblaze"],
+            "attex_saving_vs_backblaze": raw["attex_saving_vs_backblaze"],
+        },
+        paper_expected=dict(claims),
+        relative_errors={
+            "capex_saving": relative_error(
+                raw["capex_saving_vs_backblaze"], claims["capex_saving"]
+            ),
+            "attex_saving": relative_error(
+                raw["attex_saving_vs_backblaze"], claims["attex_saving"]
+            ),
+        },
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="table1",
+    paper_ref="Table I",
+    description="CapEx comparison of five storage solutions (10 PB)",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

@@ -11,10 +11,11 @@ from typing import Dict, List
 
 from repro.disk.model import DiskModel
 from repro.disk.specs import ConnectionType
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import format_table, relative_error
 from repro.workload.specs import KB, TABLE2_WORKLOADS
 
-__all__ = ["PAPER_TABLE2", "run"]
+__all__ = ["EXPERIMENT", "PAPER_TABLE2", "run"]
 
 #: Paper values in TABLE2_WORKLOADS order: 4KB seq (IO/s) R/50/W, 4KB
 #: rand (IO/s), 4MB seq (MB/s), 4MB rand (MB/s).
@@ -52,13 +53,37 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Table II: single-disk throughput, model vs prototype", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     lines.append("")
     lines.append(f"Worst cell error: {result['worst_error']:.1%}")
     return "\n".join(lines)
+
+
+def _build_result() -> ExperimentResult:
+    raw = run()
+    return ExperimentResult(
+        name="table2",
+        paper_ref="Table II",
+        metrics={"worst_cell_error": raw["worst_error"]},
+        paper_expected={"cells": PAPER_TABLE2},
+        relative_errors={"worst_cell": raw["worst_error"]},
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="table2",
+    paper_ref="Table II",
+    description="Single-disk throughput across three connection types",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

@@ -12,11 +12,12 @@ from typing import Dict, List
 from repro.disk.device import IoRequest, SimulatedDisk
 from repro.disk.specs import ConnectionType, TOSHIBA_POWER_SATA, TOSHIBA_POWER_USB
 from repro.disk.states import DiskPowerState
-from repro.experiments.common import format_table
+from repro.experiments.base import Experiment, ExperimentResult
+from repro.experiments.common import format_table, relative_error
 from repro.sim import Simulator
 from repro.workload.specs import MB
 
-__all__ = ["PAPER_TABLE3", "run"]
+__all__ = ["EXPERIMENT", "PAPER_TABLE3", "run"]
 
 #: Paper rows (watts): spin down / idle / read-write.
 PAPER_TABLE3 = {
@@ -65,11 +66,43 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Table III: power of one disk (watts), paper (p) vs simulated", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     return "\n".join(lines)
+
+
+def _build_result() -> ExperimentResult:
+    raw = run()
+    errors: Dict[str, float] = {}
+    metrics: Dict[str, object] = {}
+    states = ("spin_down_w", "idle_w", "active_w")
+    for mode in ("SATA", "USB bridge"):
+        key = mode.lower().replace(" ", "_")
+        for state, value, paper in zip(states, raw["measured"][mode], PAPER_TABLE3[mode]):
+            metrics[f"{key}.{state}"] = value
+            errors[f"{key}.{state}"] = relative_error(value, paper)
+    return ExperimentResult(
+        name="table3",
+        paper_ref="Table III",
+        metrics=metrics,
+        paper_expected={m: PAPER_TABLE3[m] for m in ("SATA", "USB bridge")},
+        relative_errors=errors,
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="table3",
+    paper_ref="Table III",
+    description="Power of one disk: SATA vs USB bridge",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

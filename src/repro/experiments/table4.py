@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import format_table, relative_error
 from repro.fabric.power import hub_power
 
-__all__ = ["PAPER_TABLE4", "run"]
+__all__ = ["EXPERIMENT", "PAPER_TABLE4", "run"]
 
 PAPER_TABLE4 = {0: 0.21, 1: 1.06, 2: 1.23, 3: 1.47, 4: 1.67}
 
@@ -27,11 +28,40 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Table IV: hub power vs connected disks", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     return "\n".join(lines)
+
+
+def _build_result() -> ExperimentResult:
+    raw = run()
+    metrics = {f"hub_power_w.{row[0]}_disks": row[1] for row in raw["rows"]}
+    errors = {
+        f"hub_power.{count}_disks": relative_error(hub_power(count), paper)
+        for count, paper in sorted(PAPER_TABLE4.items())
+    }
+    return ExperimentResult(
+        name="table4",
+        paper_ref="Table IV",
+        metrics={**metrics, "worst_cell_error": raw["worst_error"]},
+        paper_expected={f"{c}_disks": p for c, p in sorted(PAPER_TABLE4.items())},
+        relative_errors=errors,
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="table4",
+    paper_ref="Table IV",
+    description="Hub power vs number of connected disks",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

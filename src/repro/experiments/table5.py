@@ -4,11 +4,12 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import format_table, relative_error
 from repro.fabric.builders import prototype_fabric
 from repro.power.systems import dd860_power, pergamum_power, ustore_power
 
-__all__ = ["PAPER_TABLE5", "run"]
+__all__ = ["EXPERIMENT", "PAPER_TABLE5", "run"]
 
 #: Paper values (watts, 16 disks amortized; 15 for DD860/ES30).
 PAPER_TABLE5 = {
@@ -51,13 +52,45 @@ def run() -> Dict:
     }
 
 
-def main() -> str:
-    result = run()
+def _report(result: Dict) -> str:
     lines = ["Table V: amortized power of a 16-disk unit", ""]
     lines.append(format_table(result["headers"], result["rows"]))
     lines.append("")
     lines.append(f"UStore < Pergamum < DD860 in both states: {result['ordering_holds']}")
     return "\n".join(lines)
+
+
+def _build_result() -> ExperimentResult:
+    raw = run()
+    errors: Dict[str, float] = {}
+    metrics: Dict[str, object] = {"worst_cell_error": raw["worst_error"]}
+    for row in raw["rows"]:
+        system, state, value, paper = row[0], row[1], row[2], row[3]
+        key = f"{system}.{state}".replace(" ", "_").replace("/", "_")
+        metrics[key] = value
+        errors[key] = relative_error(value, paper)
+    return ExperimentResult(
+        name="table5",
+        paper_ref="Table V",
+        metrics=metrics,
+        paper_expected={s: v for s, v in PAPER_TABLE5.items()},
+        relative_errors=errors,
+        anchors={"ordering_holds": raw["ordering_holds"]},
+        raw=raw,
+        text=_report(raw),
+    )
+
+
+EXPERIMENT = Experiment(
+    name="table5",
+    paper_ref="Table V",
+    description="System power of three solutions, spinning vs powered off",
+    builder=_build_result,
+)
+
+
+def main() -> str:
+    return EXPERIMENT.run().render()
 
 
 if __name__ == "__main__":

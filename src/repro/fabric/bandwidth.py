@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fabric.topology import Fabric
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["BandwidthModel", "Flow", "FlowAllocation"]
 
@@ -76,6 +77,7 @@ class FlowAllocation:
 class _Constraint:
     capacity: float
     members: Dict[int, float]  # flow index -> weight
+    label: str = ""  # metric name stem; empty for per-flow demand caps
 
 
 class BandwidthModel:
@@ -87,11 +89,13 @@ class BandwidthModel:
         per_direction_capacity: float = DEFAULT_PER_DIRECTION_CAPACITY,
         duplex_capacity: float = DEFAULT_DUPLEX_CAPACITY,
         root_iops_limit: Optional[float] = DEFAULT_ROOT_IOPS_LIMIT,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.fabric = fabric
         self.per_direction_capacity = per_direction_capacity
         self.duplex_capacity = duplex_capacity
         self.root_iops_limit = root_iops_limit
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
 
     # -- constraint construction ------------------------------------------
 
@@ -114,7 +118,12 @@ class BandwidthModel:
                 key = (link[0], link[1], flow.is_read)
                 cons = directional.get(key)
                 if cons is None:
-                    cons = _Constraint(self.per_direction_capacity, {})
+                    direction = "read" if flow.is_read else "write"
+                    cons = _Constraint(
+                        self.per_direction_capacity,
+                        {},
+                        label=f"fabric.link.{link[0]}->{link[1]}.{direction}",
+                    )
                     directional[key] = cons
                     constraints.append(cons)
                 cons.members[index] = 1.0
@@ -122,7 +131,11 @@ class BandwidthModel:
                 dkey = (link[0], link[1])
                 dcons = duplex.get(dkey)
                 if dcons is None:
-                    dcons = _Constraint(self.duplex_capacity, {})
+                    dcons = _Constraint(
+                        self.duplex_capacity,
+                        {},
+                        label=f"fabric.link.{link[0]}->{link[1]}.duplex",
+                    )
                     duplex[dkey] = dcons
                     constraints.append(dcons)
                 dcons.members[index] = 1.0
@@ -130,7 +143,9 @@ class BandwidthModel:
                 root = links[-1][1]
                 rcons = root_iops.get(root)
                 if rcons is None:
-                    rcons = _Constraint(self.root_iops_limit, {})
+                    rcons = _Constraint(
+                        self.root_iops_limit, {}, label=f"fabric.root.{root}.iops"
+                    )
                     root_iops[root] = rcons
                     constraints.append(rcons)
                 rcons.members[index] = 1.0 / flow.io_size
@@ -185,9 +200,24 @@ class BandwidthModel:
                 for i in cons.members:
                     frozen[i] = True
 
+        if self.metrics.enabled:
+            self._record_utilisation(constraints, rates)
         return FlowAllocation(
             rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
         )
+
+    def _record_utilisation(
+        self, constraints: Sequence[_Constraint], rates: Sequence[float]
+    ) -> None:
+        """Per-link/root gauges from the final allocation (0..1 of cap)."""
+        allocations = self.metrics.counter("fabric.allocations")
+        allocations.inc()
+        for cons in constraints:
+            if not cons.label:
+                continue  # per-flow demand caps carry no metric name
+            used = sum(weight * rates[i] for i, weight in cons.members.items())
+            util = used / cons.capacity if cons.capacity > 0 else 0.0
+            self.metrics.gauge(f"{cons.label}.util").set(util)
 
     # -- convenience -----------------------------------------------------------
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.fabric.components import FabricError, NodeKind, Switch
 from repro.fabric.topology import Fabric, SwitchSetting
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["SwitchConflict", "SwitchPlan", "plan_switches", "execute_plan"]
 
@@ -144,6 +145,19 @@ def plan_switches(
     )
 
 
-def execute_plan(fabric: Fabric, plan: SwitchPlan) -> None:
-    """Apply a plan's turns to the fabric (one by one, as in §IV-C)."""
+def execute_plan(
+    fabric: Fabric, plan: SwitchPlan, metrics: Optional[MetricsRegistry] = None
+) -> None:
+    """Apply a plan's turns to the fabric (one by one, as in §IV-C).
+
+    When a :class:`~repro.obs.MetricsRegistry` is supplied, the command
+    and its physical switch turns are counted (``switch.commands`` /
+    ``switch.turns`` / ``switch.noop_commands``).
+    """
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    registry.counter("switch.commands").inc()
+    if plan.is_noop:
+        registry.counter("switch.noop_commands").inc()
+    else:
+        registry.counter("switch.turns").inc(len(plan.turns))
     fabric.apply_settings(plan.turns)

@@ -4,6 +4,12 @@ Gives operators (and examples/tests) one call to see the whole system:
 per-host attachment and exposure, disk power states, master/controller
 health, fabric power, and client activity — the view a real UStore
 operations console would render from SysConf + SysStat.
+
+When the deployment was built with an armed :class:`repro.obs`
+metrics registry, the snapshot additionally captures the registry's
+dump and the dashboard renders a live-metrics section (event counts,
+I/O counters, queue-depth percentiles).  Deployments without a
+registry fall back to the pure state-walk view.
 """
 
 from __future__ import annotations
@@ -38,6 +44,9 @@ class DeploymentSnapshot:
     units: Dict[str, UnitSnapshot] = field(default_factory=dict)
     spaces_allocated: int = 0
     failovers_completed: int = 0
+    #: ``MetricsRegistry.dump()`` of the deployment's registry, or
+    #: ``None`` when metrics were not armed (NULL_REGISTRY).
+    metrics: Optional[Dict] = None
 
 
 def _unit_snapshot(unit_id: str, fabric, disks, endpoints) -> UnitSnapshot:
@@ -78,6 +87,11 @@ def snapshot(
         coord_leader=leader,
         spaces_allocated=len(master.records) if master else 0,
         failovers_completed=master.failovers_completed if master else 0,
+        metrics=(
+            deployment.sim.metrics.dump()
+            if deployment.sim.metrics.enabled
+            else None
+        ),
     )
     if isinstance(deployment, MultiUnitDeployment):
         for unit_id, unit in deployment.units.items():
@@ -117,4 +131,44 @@ def render_dashboard(snap: DeploymentSnapshot) -> str:
             lines.append(f"    DETACHED: {', '.join(unit.detached_disks)}")
         if unit.failed_components:
             lines.append(f"    FAILED: {', '.join(unit.failed_components)}")
+    if snap.metrics is not None:
+        lines.extend(_render_metrics(snap.metrics))
     return "\n".join(lines)
+
+
+#: Counters worth a dashboard line, in display order.
+_DASHBOARD_COUNTERS = (
+    "sim.events",
+    "disk.ios",
+    "disk.spin_ups",
+    "iscsi.ios",
+    "master.heartbeats",
+    "master.failovers",
+    "switch.turns",
+    "controller.commands",
+)
+
+
+def _render_metrics(dump: Dict) -> List[str]:
+    """Live-metrics section of the dashboard, fed by the obs registry."""
+    lines = ["  metrics (sim-time registry):"]
+    counters = dump.get("counters", {})
+    shown = [name for name in _DASHBOARD_COUNTERS if name in counters]
+    for name in shown:
+        lines.append(f"    {name:<24} {counters[name]:>12.0f}")
+    for name in sorted(counters):
+        if name not in shown:
+            lines.append(f"    {name:<24} {counters[name]:>12.0f}")
+    for name, hist in sorted(dump.get("histograms", {}).items()):
+        if not hist.get("count"):
+            continue
+        lines.append(
+            f"    {name:<24} n={hist['count']:.0f} "
+            f"p50={hist['p50']:.4g} p95={hist['p95']:.4g} max={hist['max']:.4g}"
+        )
+    for name, stats in sorted(dump.get("spans", {}).items()):
+        lines.append(
+            f"    span {name:<19} n={stats['count']:.0f} "
+            f"total={stats['total_seconds']:.2f}s max={stats['max_seconds']:.2f}s"
+        )
+    return lines

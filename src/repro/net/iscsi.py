@@ -73,6 +73,9 @@ class IscsiTargetServer:
         self._volumes: Dict[str, StorageVolume] = {}
         self._sessions: Dict[int, str] = {}  # session id -> target name
         self._session_ids = itertools.count(1)
+        self._m_logins = sim.metrics.counter("iscsi.logins")
+        self._m_ios = sim.metrics.counter("iscsi.ios")
+        self._m_bytes = sim.metrics.counter("iscsi.bytes")
         self.rpc.register("iscsi.login", self._login)
         self.rpc.register("iscsi.logout", self._logout)
         self.rpc.register("iscsi.io", self._io)
@@ -101,6 +104,7 @@ class IscsiTargetServer:
             raise SessionError(f"no such target {target_name!r}")
         session_id = next(self._session_ids)
         self._sessions[session_id] = target_name
+        self._m_logins.inc()
         return session_id
 
     def _logout(self, session_id: int) -> bool:
@@ -117,6 +121,8 @@ class IscsiTargetServer:
         if volume is None:
             raise SessionError(f"target {target_name!r} withdrawn")
         service_time = yield volume.submit(offset, size, is_read)
+        self._m_ios.inc()
+        self._m_bytes.inc(size)
         return {"ok": True, "service_time": service_time}
 
 
@@ -155,6 +161,7 @@ class IscsiSession:
             )
         except (RpcTimeout, RemoteError) as exc:
             self.connected = False
+            self.initiator._m_session_errors.inc()
             raise SessionError(str(exc)) from exc
         return result
 
@@ -184,6 +191,7 @@ class IscsiInitiator:
         self.address = address
         self.io_timeout = io_timeout
         self.rpc = RpcClient(sim, network, address)
+        self._m_session_errors = sim.metrics.counter("iscsi.session_errors")
 
     def login(
         self, host_address: str, target_name: str, timeout: float = 3.0

@@ -1,0 +1,34 @@
+"""repro.obs — sim-time observability: metrics registry, spans, exporters.
+
+The registry is driven by the simulator clock (never the wall clock),
+so every metric dump is a deterministic function of the simulated
+execution: two same-seed replays export byte-identical JSON.  See
+DESIGN.md, "Observability".
+"""
+
+from repro.obs.export import export_json, export_text
+from repro.obs.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SpanRecord,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_DEPTH_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SpanRecord",
+    "export_json",
+    "export_text",
+]

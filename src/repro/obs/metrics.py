@@ -1,0 +1,430 @@
+"""Sim-time metrics: counters, gauges and fixed-bucket histograms.
+
+Every instrument reads timestamps from the simulator clock the registry
+is bound to — never the wall clock — so two same-seed replays produce
+byte-identical metric dumps (the ``DET002`` contract extends to the
+observability layer).  Percentiles come from fixed buckets rather than
+reservoirs: a reservoir needs a random source, which would either
+perturb the experiment's RNG streams or require its own, and either way
+the dump would stop being a pure function of the simulated execution.
+
+The disabled path is :data:`NULL_REGISTRY`, a shared
+:class:`NullRegistry` whose instruments are no-op singletons.
+Components fetch their instruments once at construction time and call
+``inc``/``observe`` unconditionally on the hot path; with the null
+registry those calls are empty method bodies, so a simulation without
+metrics pays one no-op call per instrumented operation and nothing
+else.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Counter",
+    "DEFAULT_DEPTH_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SpanRecord",
+]
+
+#: Queue-depth style buckets (small integer counts).
+DEFAULT_DEPTH_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0,
+)
+
+#: Latency-style buckets in seconds (sub-ms to minutes).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+_Clock = Callable[[], float]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} can only increase; got {amount}")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value, stamped with the sim time of the last set."""
+
+    __slots__ = ("name", "value", "updated_at", "_registry")
+
+    def __init__(self, name: str, registry: "MetricsRegistry") -> None:
+        self.name = name
+        self.value = 0.0
+        self.updated_at = 0.0
+        self._registry = registry
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updated_at = self._registry.now()
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"value": self.value, "updated_at": self.updated_at}
+
+
+class Histogram:
+    """Fixed-bucket histogram with estimated percentiles.
+
+    ``bounds`` are inclusive upper bucket edges; one overflow bucket
+    catches everything beyond the last edge.  Percentile queries report
+    the upper edge of the bucket holding the requested rank (clamped to
+    the observed maximum), which is deterministic and needs no sample
+    storage.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "observed_min", "observed_max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} needs ascending bucket bounds")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.observed_min = 0.0
+        self.observed_max = 0.0
+
+    def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.observed_min = value
+            self.observed_max = value
+        else:
+            if value < self.observed_min:
+                self.observed_min = value
+            if value > self.observed_max:
+                self.observed_max = value
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bucket edge at rank ``q`` (0..100), clamped to the max."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.bounds):
+                    return self.observed_max
+                return min(self.bounds[index], self.observed_max)
+        return self.observed_max
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.observed_min,
+            "max": self.observed_max,
+            "mean": self.mean(),
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class SpanRecord:
+    """One completed (or still-open) trace span in simulated time."""
+
+    __slots__ = ("name", "start", "end", "depth", "index", "parent_index")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        depth: int,
+        index: int,
+        parent_index: Optional[int],
+    ) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.depth = depth
+        self.index = index
+        self.parent_index = parent_index
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`MetricsRegistry.span`."""
+
+    __slots__ = ("_registry", "_name", "_record")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._record: Optional[SpanRecord] = None
+
+    def __enter__(self) -> SpanRecord:
+        self._record = self._registry._open_span(self._name)
+        return self._record
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if self._record is not None:
+            self._registry._close_span(self._record)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments plus trace spans.
+
+    Bind it to a simulator clock with :meth:`bind_clock` (done
+    automatically by ``Simulator(metrics=...)``); an unbound registry
+    stamps everything at t=0 but still counts correctly, so one
+    registry can be carried across several sequential simulators to
+    aggregate an experiment's whole run.
+    """
+
+    #: Dump schema version, bumped on incompatible layout changes.
+    SCHEMA_VERSION = 1
+
+    def __init__(self, clock: Optional[_Clock] = None) -> None:
+        self._clock: _Clock = clock if clock is not None else _zero_clock
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.spans: List[SpanRecord] = []
+        self._span_stack: List[SpanRecord] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def now(self) -> float:
+        return self._clock()
+
+    def bind_clock(self, clock: _Clock) -> None:
+        """Point the registry at a (new) simulator's clock."""
+        self._clock = clock
+
+    # -- instruments -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = Gauge(name, self)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = Histogram(name, bounds)
+            self._histograms[name] = instrument
+        return instrument
+
+    # -- spans -----------------------------------------------------------
+
+    def span(self, name: str) -> _SpanHandle:
+        """Context manager recording a sim-time span; nests via a stack."""
+        return _SpanHandle(self, name)
+
+    def _open_span(self, name: str) -> SpanRecord:
+        parent = self._span_stack[-1] if self._span_stack else None
+        record = SpanRecord(
+            name=name,
+            start=self._clock(),
+            depth=len(self._span_stack),
+            index=len(self.spans),
+            parent_index=parent.index if parent is not None else None,
+        )
+        self.spans.append(record)
+        self._span_stack.append(record)
+        return record
+
+    def _close_span(self, record: SpanRecord) -> None:
+        record.end = self._clock()
+        if self._span_stack and self._span_stack[-1] is record:
+            self._span_stack.pop()
+        elif record in self._span_stack:
+            self._span_stack.remove(record)
+
+    # -- introspection ---------------------------------------------------
+
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def span_summary(self) -> Dict[str, Dict[str, float]]:
+        """Spans aggregated by name: count / total / max duration."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for record in self.spans:
+            if record.end is None:
+                continue
+            entry = summary.setdefault(
+                record.name, {"count": 0.0, "total_seconds": 0.0, "max_seconds": 0.0}
+            )
+            entry["count"] += 1.0
+            entry["total_seconds"] += record.duration
+            entry["max_seconds"] = max(entry["max_seconds"], record.duration)
+        return summary
+
+    def dump(self) -> Dict[str, Any]:
+        """Deterministic, JSON-safe snapshot of every instrument."""
+        return {
+            "version": self.SCHEMA_VERSION,
+            "counters": {
+                name: self._counters[name].value for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].as_dict() for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+            "spans": {
+                name: stats for name, stats in sorted(self.span_summary().items())
+            },
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+        self._span_stack.clear()
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpanHandle(_SpanHandle):
+    __slots__ = ()
+
+    def __enter__(self) -> SpanRecord:
+        return _NULL_SPAN
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: shared no-op instruments, empty dumps.
+
+    ``NULL_REGISTRY`` is process-wide shared state, which is safe only
+    because every method is a no-op — nothing observed through it can
+    leak between simulators or runs.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null", self)
+        self._null_histogram = _NullHistogram("null", (1.0,))
+        self._null_span = _NullSpanHandle(self, "null")
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def bind_clock(self, clock: _Clock) -> None:
+        pass
+
+    def counter(self, name: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._null_histogram
+
+    def span(self, name: str) -> _SpanHandle:
+        return self._null_span
+
+
+_NULL_SPAN = SpanRecord("null", 0.0, 0, -1, None)
+
+#: Shared disabled registry; components default to this when a
+#: simulator is built without metrics.
+NULL_REGISTRY = NullRegistry()

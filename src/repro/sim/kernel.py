@@ -5,8 +5,9 @@ The kernel is a deterministic event loop: callbacks are ordered by
 same seeds replay identically.  Generator-based processes are layered on
 top in :mod:`repro.sim.process`.
 
-This module is self-contained and has no dependencies outside the
-standard library; every other ``repro`` subsystem is built on it.
+This module depends only on the standard library and the (equally
+stdlib-only) :mod:`repro.obs` metrics layer; every other ``repro``
+subsystem is built on it.
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 if TYPE_CHECKING:  # avoid an import cycle: analysis only uses stdlib
     from repro.analysis.races import Race, RaceDetector
@@ -168,7 +171,12 @@ class Simulator:
     resource — see :mod:`repro.analysis.races`.
     """
 
-    def __init__(self, start_time: float = 0.0, detect_races: bool = False) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        detect_races: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self._now = float(start_time)
         self._queue: list[_ScheduledItem] = []
         self._seq = itertools.count()
@@ -179,6 +187,11 @@ class Simulator:
             from repro.analysis.races import RaceDetector
 
             self._race_detector = RaceDetector()
+        # Metrics are read on the hot path, so the disabled case is the
+        # shared null registry whose counter increments are no-ops.
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics.bind_clock(lambda: self._now)
+        self._events_counter = self.metrics.counter("sim.events")
 
     @property
     def now(self) -> float:
@@ -315,6 +328,7 @@ class Simulator:
             raise SimulationError("no scheduled events")
         item = heapq.heappop(self._queue)
         self._now = item.time
+        self._events_counter.inc()
         for hook in self._step_hooks:
             hook(item.time, item.priority, item.seq)
         detector = self._race_detector

@@ -23,6 +23,7 @@ from repro.disk.device import IoRequest, SimulatedDisk
 from repro.disk.model import DiskModel
 from repro.fabric.bandwidth import BandwidthModel, Flow
 from repro.fabric.topology import Fabric
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import Event, Simulator
 from repro.sim.rng import RngRegistry
 from repro.workload.specs import AccessPattern, WorkloadSpec
@@ -36,6 +37,7 @@ def model_throughput(
     spec: WorkloadSpec,
     model: Optional[DiskModel] = None,
     duplex_split: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[str, float]:
     """Closed-form aggregate throughput for one worker per disk.
 
@@ -80,7 +82,7 @@ def model_throughput(
                     io_size=spec.transfer_size,
                 )
             )
-    allocation = BandwidthModel(fabric).allocate(flows)
+    allocation = BandwidthModel(fabric, metrics=metrics).allocate(flows)
     per_disk: Dict[str, float] = {}
     for flow in flows:
         per_disk[flow.disk_id] = per_disk.get(flow.disk_id, 0.0) + allocation.rate(

@@ -1,0 +1,53 @@
+"""Smoke test for the benchmark recorder (part of the default gate).
+
+Keeps ``scripts/run_benchmarks.py`` runnable so CI can accumulate
+``BENCH_figure5.json`` records, and checks the record schema.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "run_benchmarks.py"
+
+
+def test_benchmark_smoke_records_figure5(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path)],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    bench_file = tmp_path / "BENCH_figure5.json"
+    assert bench_file.exists()
+    history = json.loads(bench_file.read_text())
+    assert isinstance(history, list) and len(history) == 1
+    record = history[0]
+    assert record["schema_version"] == 1
+    assert record["experiment"] == "figure5"
+    assert record["wall_seconds"] > 0
+    assert "sim_events" in record
+    assert record["counters"]["fabric.allocations"] > 0
+
+
+def test_benchmark_appends_to_existing_history(tmp_path):
+    for _ in range(2):
+        completed = subprocess.run(
+            [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path)],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr
+    history = json.loads((tmp_path / "BENCH_figure5.json").read_text())
+    assert len(history) == 2
+
+
+def test_benchmark_rejects_unknown_experiment(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path), "nope"],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 2

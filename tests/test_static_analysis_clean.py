@@ -78,6 +78,7 @@ def test_mypy_strict_packages_clean():
             str(REPO_ROOT / "pyproject.toml"),
             str(SRC_REPRO / "sim"),
             str(SRC_REPRO / "analysis"),
+            str(SRC_REPRO / "obs"),
         ],
         capture_output=True,
         text=True,
