@@ -1,32 +1,28 @@
 #!/usr/bin/env python
 """Record wall-clock and sim-throughput benchmarks into BENCH_*.json.
 
-Runs experiments from the :data:`repro.experiments.EXPERIMENTS`
-registry, times them on the wall clock, pulls the simulated event count
-from each run's obs registry dump, and appends one record per run to
-``BENCH_<experiment>.json`` (a JSON list).  Successive CI runs
-accumulate records so throughput regressions show up as a series.
-
-Wall-clock use is fine here: this script measures the *simulator*, it
-never feeds timestamps into it (and ``scripts/`` is outside the
-determinism linter's reach by design).
+Thin CLI over :mod:`repro.benchmarks`: runs suite benchmarks
+(``alloc_scale``, ``kernel_throughput``) or registered experiments,
+and appends one record per run to ``BENCH_<name>.json`` (a JSON list).
+Successive CI runs accumulate records so throughput regressions show
+up as a series.  ``repro bench`` exposes the same suite without
+knowing about ``scripts/``.
 
 Usage::
 
     python scripts/run_benchmarks.py                 # figure5 only (smoke)
-    python scripts/run_benchmarks.py figure5 duplex  # chosen experiments
+    python scripts/run_benchmarks.py alloc_scale kernel_throughput
     python scripts/run_benchmarks.py --repeat 3      # best-of-3 wall time
+    python scripts/run_benchmarks.py --smoke         # 16-disk sizes only
     python scripts/run_benchmarks.py --out-dir /tmp  # write elsewhere
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -34,53 +30,11 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.experiments import EXPERIMENTS  # noqa: E402
-
-BENCH_SCHEMA_VERSION = 1
-
-
-def bench_one(name: str, repeat: int) -> Dict:
-    """Run ``name`` ``repeat`` times; report best wall time + counters."""
-    experiment = EXPERIMENTS.get(name)
-    wall_times: List[float] = []
-    result = None
-    for _ in range(repeat):
-        started = time.perf_counter()
-        result = experiment.run()
-        wall_times.append(time.perf_counter() - started)
-    assert result is not None
-    obs = result.obs or {}
-    counters = obs.get("counters", {})
-    sim_events = counters.get("sim.events", 0.0)
-    best_wall = min(wall_times)
-    return {
-        "schema_version": BENCH_SCHEMA_VERSION,
-        "experiment": name,
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "repeat": repeat,
-        "wall_seconds": round(best_wall, 4),
-        "wall_seconds_all": [round(t, 4) for t in wall_times],
-        "sim_events": sim_events,
-        "sim_events_per_wall_second": (
-            round(sim_events / best_wall, 1) if best_wall > 0 else None
-        ),
-        "counters": {k: v for k, v in sorted(counters.items())},
-    }
-
-
-def append_record(out_dir: Path, record: Dict) -> Path:
-    path = out_dir / f"BENCH_{record['experiment']}.json"
-    history: List[Dict] = []
-    if path.exists():
-        try:
-            history = json.loads(path.read_text())
-        except (ValueError, OSError):
-            history = []
-        if not isinstance(history, list):
-            history = []
-    history.append(record)
-    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
-    return path
+from repro.benchmarks import (  # noqa: E402
+    append_record,
+    available_benchmarks,
+    run_benchmark,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -89,10 +43,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments",
         nargs="*",
         default=[],
-        help="experiments to benchmark (default: figure5)",
+        help="benchmarks to run (default: figure5)",
     )
     parser.add_argument(
-        "--repeat", type=int, default=1, help="runs per experiment (best wall time)"
+        "--repeat", type=int, default=1, help="runs per benchmark (best wall time)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="seed for generated benchmark workloads"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="restrict scale sweeps to the smallest (16-disk) size",
     )
     parser.add_argument(
         "--out-dir",
@@ -103,12 +65,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     names = args.experiments or ["figure5"]
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    known = set(available_benchmarks())
+    unknown = [n for n in names if n not in known]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
     for name in names:
-        record = bench_one(name, max(1, args.repeat))
+        record = run_benchmark(
+            name, repeat=max(1, args.repeat), seed=args.seed, smoke=args.smoke
+        )
         path = append_record(args.out_dir, record)
         print(
             f"{name}: {record['wall_seconds']}s wall, "

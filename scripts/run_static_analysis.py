@@ -7,11 +7,18 @@ reported, so this doubles as the CI gate
 the default pytest run).  The mypy pass applies the pyproject strict
 profile to ``repro.sim``, ``repro.analysis`` and ``repro.obs``.
 
+Default-path invocations also run a perf smoke: the ``alloc_scale``
+and ``kernel_throughput`` benchmarks at their 16-disk smoke size,
+failing on a >5x wall-clock regression against the committed
+``BENCH_*.json`` baselines (skipped when explicit paths are passed, or
+with ``--no-perf``).
+
 Usage::
 
     python scripts/run_static_analysis.py               # lint src/repro
     python scripts/run_static_analysis.py path/to/code  # lint elsewhere
     python scripts/run_static_analysis.py --no-mypy     # linter only
+    python scripts/run_static_analysis.py --no-perf     # skip perf smoke
     python scripts/run_static_analysis.py --audit       # list suppressions
 """
 
@@ -19,10 +26,13 @@ from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+PERF_REGRESSION_FACTOR = 5.0
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -50,6 +60,78 @@ def run_mypy(paths: List[str]) -> int:
     return completed.returncode
 
 
+def _baseline_alloc_16(history: List[Dict]) -> Optional[Dict]:
+    """The 16-disk size entry of the most recent alloc_scale record."""
+    for record in reversed(history):
+        for size in record.get("sizes", []):
+            if size.get("disks") == 16:
+                return size
+    return None
+
+
+def _baseline_kernel_rate(history: List[Dict]) -> Optional[float]:
+    """events/sec (fast path) of the most recent kernel record."""
+    for record in reversed(history):
+        rate = record.get("events_per_second_fast")
+        if rate:
+            return float(rate)
+    return None
+
+
+def run_perf_smoke() -> int:
+    """Run the new benchmarks at smoke size; flag >5x regressions.
+
+    Compares against the committed BENCH baselines at the repo root.
+    Wall-clock timings at the 16-disk size are sub-millisecond, so every
+    comparison carries a small absolute grace on top of the 5x factor to
+    keep scheduler noise from failing the gate; a genuine algorithmic
+    regression clears both easily.
+    """
+    from repro.benchmarks import run_benchmark
+
+    status = 0
+
+    record = run_benchmark("alloc_scale", repeat=3, smoke=True)
+    current = record["sizes"][0]
+    baseline_path = REPO_ROOT / "BENCH_alloc_scale.json"
+    if baseline_path.exists():
+        baseline = _baseline_alloc_16(json.loads(baseline_path.read_text()))
+    else:
+        baseline = None
+    if baseline is None:
+        print("perf: alloc_scale: no committed 16-disk baseline, comparison skipped")
+    else:
+        for key, grace in (("opt_cold_seconds", 0.025), ("opt_warm_seconds", 0.025)):
+            limit = PERF_REGRESSION_FACTOR * baseline[key] + grace
+            verdict = "OK" if current[key] <= limit else "REGRESSION"
+            print(
+                f"perf: alloc_scale 16-disk {key}: {current[key]}s "
+                f"(baseline {baseline[key]}s, limit {limit:.4f}s) {verdict}"
+            )
+            if current[key] > limit:
+                status = 1
+
+    record = run_benchmark("kernel_throughput", repeat=3, smoke=True)
+    rate = record["events_per_second_fast"]
+    baseline_path = REPO_ROOT / "BENCH_kernel_throughput.json"
+    if baseline_path.exists():
+        baseline_rate = _baseline_kernel_rate(json.loads(baseline_path.read_text()))
+    else:
+        baseline_rate = None
+    if baseline_rate is None:
+        print("perf: kernel_throughput: no committed baseline, comparison skipped")
+    else:
+        floor = baseline_rate / PERF_REGRESSION_FACTOR
+        verdict = "OK" if rate >= floor else "REGRESSION"
+        print(
+            f"perf: kernel_throughput fast path: {rate:.0f} ev/s "
+            f"(baseline {baseline_rate:.0f} ev/s, floor {floor:.0f} ev/s) {verdict}"
+        )
+        if rate < floor:
+            status = 1
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -64,6 +146,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-mypy", action="store_true", help="skip the mypy pass"
     )
+    parser.add_argument(
+        "--no-perf", action="store_true", help="skip the perf smoke benchmarks"
+    )
     args = parser.parse_args(argv)
 
     paths = args.paths or [str(SRC / "repro")]
@@ -74,6 +159,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.no_mypy:
         mypy_status = run_mypy(paths)
         if mypy_status != 0:
+            status = 1
+    # The perf smoke guards the default tree, not arbitrary paths.
+    if not args.no_perf and not args.paths:
+        if run_perf_smoke() != 0:
             status = 1
     return status
 

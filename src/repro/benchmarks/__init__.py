@@ -1,0 +1,22 @@
+"""Wall-clock benchmark suite (rack-scale allocator + kernel throughput).
+
+See :mod:`repro.benchmarks.suite`.  Records are appended to
+``BENCH_<name>.json`` files by ``scripts/run_benchmarks.py`` or the
+``repro bench`` CLI subcommand.
+"""
+
+from repro.benchmarks.suite import (
+    BENCH_SCHEMA_VERSION,
+    BENCHMARKS,
+    append_record,
+    available_benchmarks,
+    run_benchmark,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCHMARKS",
+    "append_record",
+    "available_benchmarks",
+    "run_benchmark",
+]

@@ -1,0 +1,312 @@
+"""The benchmark suite: wall-clock measurements of the simulation stack.
+
+Three kinds of benchmark share one record schema (the ``BENCH_*.json``
+history files at the repo root):
+
+* ``alloc_scale`` — max-min bandwidth allocation over rack-scale
+  fabrics (16 / 240 / 1920 disks, i.e. 1 / 15 / 120 ring pods),
+  comparing the incremental allocator against the retained naive
+  baseline (:meth:`repro.fabric.bandwidth.BandwidthModel.allocate_naive`)
+  and recording the speedup;
+* ``kernel_throughput`` — raw events/sec of the discrete-event kernel
+  with instrumentation off (the fast path) and on (metrics + digest),
+  via self-rescheduling timer callbacks;
+* any registered experiment name (e.g. ``figure5``) — wall time of a
+  full experiment run; experiments that declare a ``settle_seconds``
+  parameter are run with a nonzero settle so the simulator actually
+  executes events and the ``sim.events`` counter is meaningful.
+
+Wall-clock use is deliberate and local to this module: benchmarks
+measure the simulator, they never feed timestamps into it.  The module
+is listed in the determinism linter's wall-clock exemptions for exactly
+that reason.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import EXPERIMENTS
+from repro.fabric.bandwidth import BandwidthModel, Flow
+from repro.fabric.builders import rack_fabric
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import EventDigest
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCHMARKS",
+    "append_record",
+    "available_benchmarks",
+    "run_benchmark",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Pod counts for the allocation scale sweep: one deploy unit (the
+#: paper's 16-disk prototype), a 15-pod rack (240 disks) and a 120-pod
+#: row (1920 disks).
+ALLOC_SCALE_PODS: Tuple[int, ...] = (1, 15, 120)
+
+#: Distinct demand levels drawn for alloc_scale flows.  Enough levels
+#: that progressive filling takes many rounds (the regime the
+#: incremental allocator is built for) while keeping the naive baseline
+#: comfortably under the suite's 5 s wall budget at 1920 disks.
+_DEMAND_LEVELS = 32
+
+#: Simulated settle time handed to experiments that support it, so the
+#: benchmarked run executes real simulator events.
+EXPERIMENT_SETTLE_SECONDS = 12.0
+
+KERNEL_EVENTS_FULL = 200_000
+KERNEL_EVENTS_SMOKE = 20_000
+
+
+def _timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def _base_record(name: str, repeat: int) -> Dict:
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "experiment": name,
+        "recorded_at": _timestamp(),
+        "repeat": repeat,
+    }
+
+
+def _finish_record(
+    record: Dict, wall_times: List[float], sim_events: float, counters: Dict
+) -> Dict:
+    best_wall = min(wall_times)
+    record.update(
+        {
+            "wall_seconds": round(best_wall, 4),
+            "wall_seconds_all": [round(t, 4) for t in wall_times],
+            "sim_events": sim_events,
+            "sim_events_per_wall_second": (
+                round(sim_events / best_wall, 1) if best_wall > 0 else None
+            ),
+            "counters": {k: v for k, v in sorted(counters.items())},
+        }
+    )
+    return record
+
+
+def _rack_flows(num_disks_sorted: Sequence[str], seed: int) -> List[Flow]:
+    """Deterministic pseudo-random flows: mixed direction, many demand levels."""
+    rng = RngRegistry(seed).stream("bench.alloc_scale")
+    levels = [rng.uniform(20e6, 180e6) for _ in range(_DEMAND_LEVELS)]
+    return [
+        Flow(f"f{i}", disk_id, rng.choice(levels), rng.random() < 0.5)
+        for i, disk_id in enumerate(num_disks_sorted)
+    ]
+
+
+def bench_alloc_scale(
+    repeat: int = 2, seed: int = 42, smoke: bool = False
+) -> Dict:
+    """Incremental vs naive progressive filling across fabric sizes.
+
+    Per size, times the optimized allocator cold (first call: path walks
+    plus skeleton build) and warm (epoch caches hot), runs the naive
+    baseline once, and cross-checks the two allocations.  ``smoke``
+    restricts the sweep to the 16-disk size for the CI perf gate.
+    """
+    pods = ALLOC_SCALE_PODS[:1] if smoke else ALLOC_SCALE_PODS
+    record = _base_record("alloc_scale", repeat)
+    record["seed"] = seed
+    sizes: List[Dict] = []
+    total_wall = 0.0
+    allocations = 0
+    started_total = time.perf_counter()
+    for pod_count in pods:
+        fabric = rack_fabric(pod_count)
+        disks = sorted(disk.node_id for disk in fabric.disks)
+        flows = _rack_flows(disks, seed)
+        model = BandwidthModel(fabric)
+
+        t0 = time.perf_counter()
+        optimized = model.allocate(flows)
+        cold_seconds = time.perf_counter() - t0
+        warm_times: List[float] = []
+        for _ in range(max(1, repeat)):
+            t0 = time.perf_counter()
+            optimized = model.allocate(flows)
+            warm_times.append(time.perf_counter() - t0)
+            allocations += 1
+        t0 = time.perf_counter()
+        naive = model.allocate_naive(flows)
+        naive_seconds = time.perf_counter() - t0
+
+        max_rel_diff = 0.0
+        for flow_id, rate in optimized.rates.items():
+            other = naive.rates[flow_id]
+            scale = max(abs(rate), abs(other), 1.0)
+            diff = abs(rate - other) / scale
+            if diff > max_rel_diff:
+                max_rel_diff = diff
+        warm_seconds = min(warm_times)
+        sizes.append(
+            {
+                "pods": pod_count,
+                "disks": len(disks),
+                "flows": len(flows),
+                "opt_cold_seconds": round(cold_seconds, 5),
+                "opt_warm_seconds": round(warm_seconds, 5),
+                "naive_seconds": round(naive_seconds, 5),
+                "speedup_cold": round(naive_seconds / cold_seconds, 1)
+                if cold_seconds > 0
+                else None,
+                "speedup_warm": round(naive_seconds / warm_seconds, 1)
+                if warm_seconds > 0
+                else None,
+                "flows_per_second_warm": round(len(flows) / warm_seconds, 1)
+                if warm_seconds > 0
+                else None,
+                "max_rel_diff_vs_naive": max_rel_diff,
+            }
+        )
+    total_wall = time.perf_counter() - started_total
+    record["sizes"] = sizes
+    return _finish_record(
+        record,
+        [total_wall],
+        0.0,
+        {"fabric.allocations": float(allocations)},
+    )
+
+
+def _drive_kernel(sim: Simulator, total_events: int) -> None:
+    """Run ``total_events`` self-rescheduling timer callbacks."""
+    remaining = [total_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.call_in(1.0, tick)
+
+    fan_out = min(16, total_events)
+    for i in range(fan_out):
+        sim.call_in(float(i % 3), tick)
+    sim.run()
+
+
+def bench_kernel_throughput(
+    repeat: int = 2, seed: int = 42, smoke: bool = False
+) -> Dict:
+    """Events/sec of the kernel, fast path vs fully instrumented."""
+    del seed  # kernel throughput is workload-independent
+    total_events = KERNEL_EVENTS_SMOKE if smoke else KERNEL_EVENTS_FULL
+    record = _base_record("kernel_throughput", repeat)
+    record["events_per_run"] = total_events
+
+    fast_times: List[float] = []
+    for _ in range(max(1, repeat)):
+        sim = Simulator()
+        t0 = time.perf_counter()
+        _drive_kernel(sim, total_events)
+        fast_times.append(time.perf_counter() - t0)
+
+    instrumented_times: List[float] = []
+    for _ in range(max(1, repeat)):
+        registry = MetricsRegistry()
+        sim = Simulator(metrics=registry)
+        EventDigest().attach(sim)
+        t0 = time.perf_counter()
+        _drive_kernel(sim, total_events)
+        instrumented_times.append(time.perf_counter() - t0)
+
+    fast_best = min(fast_times)
+    instrumented_best = min(instrumented_times)
+    record["events_per_second_fast"] = (
+        round(total_events / fast_best, 1) if fast_best > 0 else None
+    )
+    record["events_per_second_instrumented"] = (
+        round(total_events / instrumented_best, 1) if instrumented_best > 0 else None
+    )
+    record["fast_path_uplift"] = (
+        round(instrumented_best / fast_best, 2) if fast_best > 0 else None
+    )
+    return _finish_record(
+        record,
+        fast_times,
+        float(total_events),
+        {"sim.events": float(total_events)},
+    )
+
+
+#: Pure-suite benchmarks (everything else resolves via EXPERIMENTS).
+BENCHMARKS: Dict[str, Callable[..., Dict]] = {
+    "alloc_scale": bench_alloc_scale,
+    "kernel_throughput": bench_kernel_throughput,
+}
+
+
+def available_benchmarks() -> List[str]:
+    """Names accepted by :func:`run_benchmark`."""
+    return sorted(BENCHMARKS) + [n for n in EXPERIMENTS.names()]
+
+
+def bench_experiment(name: str, repeat: int = 1, **_ignored: object) -> Dict:
+    """Time a registered experiment run; settle when the experiment can.
+
+    Experiments that declare ``settle_seconds`` are run with
+    :data:`EXPERIMENT_SETTLE_SECONDS` so the deployments' event loops
+    actually execute and ``sim.events`` lands in the record nonzero
+    (the default-parameter run — and hence the replay digest checked by
+    ``repro check-determinism`` — is untouched).
+    """
+    experiment = EXPERIMENTS.get(name)
+    overrides: Dict[str, float] = {}
+    if "settle_seconds" in experiment.params:
+        overrides["settle_seconds"] = EXPERIMENT_SETTLE_SECONDS
+    wall_times: List[float] = []
+    result = None
+    for _ in range(max(1, repeat)):
+        started = time.perf_counter()
+        result = experiment.run(**overrides)
+        wall_times.append(time.perf_counter() - started)
+    assert result is not None
+    obs = result.obs or {}
+    counters = obs.get("counters", {})
+    record = _base_record(name, repeat)
+    if overrides:
+        record["params"] = dict(overrides)
+    return _finish_record(
+        record, wall_times, counters.get("sim.events", 0.0), counters
+    )
+
+
+def run_benchmark(
+    name: str, repeat: int = 1, seed: int = 42, smoke: bool = False
+) -> Dict:
+    """Run one benchmark (suite entry or experiment) and return its record."""
+    bench = BENCHMARKS.get(name)
+    if bench is not None:
+        return bench(repeat=max(1, repeat), seed=seed, smoke=smoke)
+    if name in EXPERIMENTS:
+        return bench_experiment(name, repeat=max(1, repeat))
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: {', '.join(available_benchmarks())}"
+    )
+
+
+def append_record(out_dir: Path, record: Dict) -> Path:
+    """Append ``record`` to the BENCH history file for its benchmark."""
+    path = Path(out_dir) / f"BENCH_{record['experiment']}.json"
+    history: List[Dict] = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+    return path

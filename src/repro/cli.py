@@ -10,11 +10,13 @@ Usage::
     python -m repro validate --hosts 4 --disks-per-leaf 2
     python -m repro lint [paths...]      # determinism linter (src/repro)
     python -m repro check-determinism    # replay + race-detector + metrics check
+    python -m repro bench alloc_scale    # wall-clock benchmark suite
 
-``run``, ``validate`` and ``check-determinism`` share the same
-``--json`` / ``--seed`` flags: ``--json`` switches the command's output
-to a machine-readable document, ``--seed`` overrides the RNG seed of
-any experiment that declares one (others run with their defaults).
+``run``, ``validate``, ``check-determinism`` and ``bench`` share the
+same ``--json`` / ``--seed`` flags: ``--json`` switches the command's
+output to a machine-readable document, ``--seed`` overrides the RNG
+seed of any experiment that declares one (others run with their
+defaults).
 """
 
 from __future__ import annotations
@@ -197,6 +199,50 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suite (same engine as scripts/run_benchmarks.py)."""
+    from pathlib import Path
+
+    from repro.benchmarks import append_record, available_benchmarks, run_benchmark
+
+    names = args.benchmarks or ["alloc_scale", "kernel_throughput"]
+    known = set(available_benchmarks())
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    records = []
+    for name in names:
+        record = run_benchmark(
+            name,
+            repeat=max(1, args.repeat),
+            seed=args.seed if args.seed is not None else 42,
+            smoke=args.smoke,
+        )
+        records.append(record)
+        if args.out_dir is not None:
+            append_record(Path(args.out_dir), record)
+        if not args.as_json:
+            print(f"{name}: {record['wall_seconds']}s wall")
+            for size in record.get("sizes", []):
+                print(
+                    f"  {size['disks']} disks: opt {size['opt_warm_seconds']}s "
+                    f"(cold {size['opt_cold_seconds']}s), naive "
+                    f"{size['naive_seconds']}s, speedup {size['speedup_cold']}x "
+                    f"cold / {size['speedup_warm']}x warm"
+                )
+            if "events_per_second_fast" in record:
+                print(
+                    f"  kernel: {record['events_per_second_fast']:.0f} ev/s fast, "
+                    f"{record['events_per_second_instrumented']:.0f} ev/s "
+                    f"instrumented ({record['fast_path_uplift']}x uplift)"
+                )
+    if args.as_json:
+        print(json.dumps(records, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="UStore (ICDCS 2015) reproduction toolkit"
@@ -234,6 +280,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common_flags(check_parser)
     check_parser.set_defaults(fn=_cmd_check_determinism)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="run the wall-clock benchmark suite (alloc_scale, kernel_throughput, …)",
+    )
+    bench_parser.add_argument("benchmarks", nargs="*")
+    bench_parser.add_argument(
+        "--repeat", type=int, default=1, help="runs per benchmark (best wall time)"
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="restrict scale sweeps to the smallest (16-disk) size",
+    )
+    bench_parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="also append records to BENCH_*.json files in this directory",
+    )
+    _add_common_flags(bench_parser)
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,7 +1,12 @@
 """The UStore interconnect fabric: components, topology, switching, sharing."""
 
-from repro.fabric.bandwidth import BandwidthModel, Flow, FlowAllocation
-from repro.fabric.builders import dual_tree_fabric, prototype_fabric, ring_fabric
+from repro.fabric.bandwidth import AllocationSession, BandwidthModel, Flow, FlowAllocation
+from repro.fabric.builders import (
+    dual_tree_fabric,
+    prototype_fabric,
+    rack_fabric,
+    ring_fabric,
+)
 from repro.fabric.components import (
     Bridge,
     DiskNode,
@@ -18,6 +23,7 @@ from repro.fabric.topology import Fabric, Path, SwitchSetting
 from repro.fabric.validate import ValidationReport, validate_fabric
 
 __all__ = [
+    "AllocationSession",
     "BandwidthModel",
     "Bridge",
     "DiskNode",
@@ -42,6 +48,7 @@ __all__ = [
     "hub_power",
     "plan_switches",
     "prototype_fabric",
+    "rack_fabric",
     "ring_fabric",
     "validate_fabric",
 ]

@@ -18,17 +18,44 @@ three families of linear constraints, using progressive filling:
 
 The paper observes that bandwidth is shared evenly among disks on a
 host — exactly the max-min solution.
+
+Rack-scale fast path
+--------------------
+
+The allocator is built for repeated evaluation over large fabrics
+(see ``repro.fabric.builders.rack_fabric`` and the ``alloc_scale``
+benchmark):
+
+* constraint *skeletons* (everything except per-flow demands) are
+  memoized per ``(fabric epoch, flow signature)`` — a switch turn,
+  failure, repair or wiring change bumps the epoch and invalidates
+  them, and disk paths come from the fabric's epoch-cached
+  :meth:`~repro.fabric.topology.Fabric.active_path`;
+* progressive filling is *incremental*: every constraint carries
+  running ``used`` / ``active_weight`` sums updated as flows freeze,
+  and the next binding constraint is found through a lazy min-heap of
+  water-level bounds (bounds only rise as flows freeze, so stale heap
+  entries are simply skipped) instead of resumming every member of
+  every constraint each round;
+* :class:`AllocationSession` adds an "only these flows changed" fast
+  path for workloads that add or remove one flow at a time.
+
+:meth:`BandwidthModel.allocate_naive` retains the original
+resum-everything algorithm as an in-package baseline for the
+``alloc_scale`` speedup benchmark; the independent correctness oracle
+lives in the test tree (``tests/reference_alloc.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fabric.topology import Fabric
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.metrics import NULL_REGISTRY, Counter, Gauge, MetricsRegistry
 
-__all__ = ["BandwidthModel", "Flow", "FlowAllocation"]
+__all__ = ["AllocationSession", "BandwidthModel", "Flow", "FlowAllocation"]
 
 #: Realizable one-direction payload on a USB 3.0 link (calibrated: the
 #: paper's root hub tops out "around 300MB/s").
@@ -41,6 +68,13 @@ DEFAULT_DUPLEX_CAPACITY = 540e6
 #: Host-controller command rate per root port (calibrated: 4KB
 #: sequential curves saturate around 8 disks, ~45k IO/s).
 DEFAULT_ROOT_IOPS_LIMIT = 45_000.0
+
+#: Relative tolerance for "these constraints bind at the same water
+#: level" ties.  Shared with the test-tree reference implementation so
+#: both classify borderline rounds identically.
+TIE_REL_TOL = 1e-9
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -73,11 +107,138 @@ class FlowAllocation:
         return self.rates[flow_id]
 
 
-@dataclass
 class _Constraint:
-    capacity: float
-    members: Dict[int, float]  # flow index -> weight
-    label: str = ""  # metric name stem; empty for per-flow demand caps
+    """One capacity constraint of the cached skeleton.
+
+    ``members`` maps flow index -> weight as a flat list for fast
+    iteration; ``gauge`` caches the utilisation gauge handle so
+    armed-metrics runs don't rebuild the metric name string (and
+    re-hash the registry) on every allocation.
+    """
+
+    __slots__ = ("capacity", "label", "members", "gauge")
+
+    def __init__(self, capacity: float, label: str) -> None:
+        self.capacity = capacity
+        self.label = label
+        self.members: List[Tuple[int, float]] = []
+        self.gauge: Optional[Gauge] = None
+
+
+#: A skeleton: the constraints plus, per flow index, that flow's
+#: memberships as (constraint index, weight) pairs.
+_Skeleton = Tuple[List[_Constraint], List[List[Tuple[int, float]]]]
+
+
+def _progressive_fill(
+    n: int,
+    demands: Sequence[float],
+    constraints: Sequence[_Constraint],
+    flow_cons: Sequence[Sequence[Tuple[int, float]]],
+) -> Tuple[List[float], List[float]]:
+    """Incremental max-min water filling.
+
+    Returns ``(rates, used)`` where ``used[c]`` is the capacity consumed
+    on constraint ``c`` by the final rates.
+
+    Invariants (documented in DESIGN.md §8):
+
+    * every still-active flow sits at the common water level ``L``;
+    * per constraint, ``used + active_weight * L <= capacity`` with
+      ``used``/``active_weight`` maintained incrementally as flows
+      freeze — never resummed;
+    * a constraint's bound ``(capacity - used) / active_weight`` is
+      non-decreasing as flows freeze, so the lazy heap never hides a
+      lower bound behind a stale entry.
+    """
+    rates = [0.0] * n
+    frozen = [False] * n
+    m = len(constraints)
+    used = [0.0] * m  # capacity consumed by frozen members
+    active_weight = [0.0] * m
+    active_count = [0] * m
+    version = [0] * m
+
+    heap: List[Tuple[float, int, int]] = []
+    for c in range(m):
+        weight = 0.0
+        count = 0
+        for _index, w in constraints[c].members:
+            weight += w
+            count += 1
+        active_weight[c] = weight
+        active_count[c] = count
+        if count and weight > 0.0:
+            heap.append((constraints[c].capacity / weight, c, 0))
+    heapify(heap)
+
+    by_demand = sorted(range(n), key=lambda i: (demands[i], i))
+    ptr = 0
+    remaining = n
+    level = 0.0
+
+    while remaining:
+        # Next binding constraint bound (skip stale lazy-heap entries).
+        while heap and heap[0][2] != version[heap[0][1]]:
+            heappop(heap)
+        cons_bound = heap[0][0] if heap else _INF
+        # Next demand cap.
+        while ptr < n and frozen[by_demand[ptr]]:
+            ptr += 1
+        demand_bound = demands[by_demand[ptr]] if ptr < n else _INF
+
+        best = cons_bound if cons_bound <= demand_bound else demand_bound
+        if best == _INF:
+            break
+        if best > level:
+            level = best
+        scale = abs(best)
+        cutoff = best + TIE_REL_TOL * (scale if scale > 1.0 else 1.0)
+
+        newly: List[int] = []
+        while ptr < n:
+            i = by_demand[ptr]
+            if frozen[i]:
+                ptr += 1
+            elif demands[i] <= cutoff:
+                frozen[i] = True
+                newly.append(i)
+                ptr += 1
+            else:
+                break
+        while heap:
+            bound, c, v = heap[0]
+            if v != version[c]:
+                heappop(heap)
+            elif bound <= cutoff:
+                heappop(heap)
+                for i, _w in constraints[c].members:
+                    if not frozen[i]:
+                        frozen[i] = True
+                        newly.append(i)
+            else:
+                break
+        if not newly:  # defensive: numerical dead end, stop raising water
+            break
+        remaining -= len(newly)
+        for i in newly:
+            rates[i] = level
+            for c, w in flow_cons[i]:
+                used[c] += w * level
+                count = active_count[c] - 1
+                active_count[c] = count
+                version[c] += 1
+                if count:
+                    weight = active_weight[c] - w
+                    active_weight[c] = weight
+                    if weight > 0.0:
+                        heappush(
+                            heap,
+                            ((constraints[c].capacity - used[c]) / weight, c, version[c]),
+                        )
+                else:
+                    active_weight[c] = 0.0
+    return rates, used
 
 
 class BandwidthModel:
@@ -96,60 +257,100 @@ class BandwidthModel:
         self.duplex_capacity = duplex_capacity
         self.root_iops_limit = root_iops_limit
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._allocations_counter: Optional[Counter] = None
+        # Constraint skeletons memoized per (topology epoch, flow
+        # signature); see _build_constraints.
+        self._skeleton_cache: Dict[Tuple[Tuple[str, bool, int], ...], _Skeleton] = {}
+        self._skeleton_epoch = -1
 
     # -- constraint construction ------------------------------------------
 
-    def _flow_links(self, flow: Flow) -> List[Tuple[str, str]]:
-        """(child, parent) link pairs on the flow's active path."""
-        walk = self.fabric.trace_up(flow.disk_id)
+    def _flow_path(self, flow: Flow) -> Tuple[str, ...]:
+        """Node ids on the flow's active path, ending at a host port."""
+        walk = self.fabric.active_path(flow.disk_id)
         if not walk or self.fabric.node(walk[-1]).kind.value != "host_port":
             raise ValueError(f"disk {flow.disk_id!r} is not attached to any host")
-        return list(zip(walk, walk[1:]))
+        return walk
 
-    def _build_constraints(self, flows: Sequence[Flow]) -> List[_Constraint]:
-        directional: Dict[Tuple[str, str, bool], _Constraint] = {}
-        duplex: Dict[Tuple[str, str], _Constraint] = {}
-        root_iops: Dict[str, _Constraint] = {}
+    def _build_constraints(self, flows: Sequence[Flow]) -> _Skeleton:
+        """The cached constraint skeleton for ``flows``.
+
+        The skeleton contains every shared constraint (directional,
+        duplex, root IOPS) but not the per-flow demand caps, which
+        depend on demand values and are applied directly by the filling
+        loop.  Cached per topology epoch and per flow signature
+        ``(disk_id, is_read, io_size)``; callers must not mutate it.
+        """
+        epoch = self.fabric.epoch
+        if self._skeleton_epoch != epoch:
+            self._skeleton_cache.clear()
+            self._skeleton_epoch = epoch
+        signature = tuple((f.disk_id, f.is_read, f.io_size) for f in flows)
+        skeleton = self._skeleton_cache.get(signature)
+        if skeleton is None:
+            if len(self._skeleton_cache) >= 128:
+                self._skeleton_cache.clear()
+            skeleton = self._build_skeleton_uncached(flows)
+            self._skeleton_cache[signature] = skeleton
+        return skeleton
+
+    def _build_skeleton_uncached(self, flows: Sequence[Flow]) -> _Skeleton:
+        directional: Dict[Tuple[str, str, bool], int] = {}
+        duplex: Dict[Tuple[str, str], int] = {}
+        root_iops: Dict[str, int] = {}
         constraints: List[_Constraint] = []
+        flow_cons: List[List[Tuple[int, float]]] = []
+        iops_limit = self.root_iops_limit
 
         for index, flow in enumerate(flows):
-            links = self._flow_links(flow)
-            for link in links:
-                key = (link[0], link[1], flow.is_read)
-                cons = directional.get(key)
-                if cons is None:
-                    direction = "read" if flow.is_read else "write"
-                    cons = _Constraint(
-                        self.per_direction_capacity,
-                        {},
-                        label=f"fabric.link.{link[0]}->{link[1]}.{direction}",
+            memberships: List[Tuple[int, float]] = []
+            walk = self._flow_path(flow)
+            is_read = flow.is_read
+            prev = walk[0]
+            for node in walk[1:]:
+                key = (prev, node, is_read)
+                cidx = directional.get(key)
+                if cidx is None:
+                    cidx = len(constraints)
+                    direction = "read" if is_read else "write"
+                    constraints.append(
+                        _Constraint(
+                            self.per_direction_capacity,
+                            f"fabric.link.{prev}->{node}.{direction}",
+                        )
                     )
-                    directional[key] = cons
-                    constraints.append(cons)
-                cons.members[index] = 1.0
+                    directional[key] = cidx
+                constraints[cidx].members.append((index, 1.0))
+                memberships.append((cidx, 1.0))
 
-                dkey = (link[0], link[1])
-                dcons = duplex.get(dkey)
-                if dcons is None:
-                    dcons = _Constraint(
-                        self.duplex_capacity,
-                        {},
-                        label=f"fabric.link.{link[0]}->{link[1]}.duplex",
+                dkey = (prev, node)
+                didx = duplex.get(dkey)
+                if didx is None:
+                    didx = len(constraints)
+                    constraints.append(
+                        _Constraint(
+                            self.duplex_capacity,
+                            f"fabric.link.{prev}->{node}.duplex",
+                        )
                     )
-                    duplex[dkey] = dcons
-                    constraints.append(dcons)
-                dcons.members[index] = 1.0
-            if self.root_iops_limit is not None and links:
-                root = links[-1][1]
-                rcons = root_iops.get(root)
-                if rcons is None:
-                    rcons = _Constraint(
-                        self.root_iops_limit, {}, label=f"fabric.root.{root}.iops"
+                    duplex[dkey] = didx
+                constraints[didx].members.append((index, 1.0))
+                memberships.append((didx, 1.0))
+                prev = node
+            if iops_limit is not None and len(walk) > 1:
+                root = walk[-1]
+                ridx = root_iops.get(root)
+                if ridx is None:
+                    ridx = len(constraints)
+                    constraints.append(
+                        _Constraint(iops_limit, f"fabric.root.{root}.iops")
                     )
-                    root_iops[root] = rcons
-                    constraints.append(rcons)
-                rcons.members[index] = 1.0 / flow.io_size
-        return constraints
+                    root_iops[root] = ridx
+                weight = 1.0 / flow.io_size
+                constraints[ridx].members.append((index, weight))
+                memberships.append((ridx, weight))
+            flow_cons.append(memberships)
+        return constraints, flow_cons
 
     # -- progressive filling -------------------------------------------------
 
@@ -163,64 +364,303 @@ class BandwidthModel:
                 raise ValueError(f"duplicate flow id {flow.flow_id!r}")
             seen.add(flow.flow_id)
 
-        constraints = self._build_constraints(flows)
-        n = len(flows)
-        rates = [0.0] * n
-        frozen = [False] * n
-
-        # Demand caps as single-member constraints.
-        for i, flow in enumerate(flows):
-            constraints.append(_Constraint(flow.demand, {i: 1.0}))
-
-        for _ in range(n + len(constraints)):
-            active = [i for i in range(n) if not frozen[i]]
-            if not active:
-                break
-            # Largest uniform increment t such that every constraint holds
-            # when all active flows rise by t together.
-            best_t = float("inf")
-            binding: List[_Constraint] = []
-            for cons in constraints:
-                used = sum(cons.members.get(i, 0.0) * rates[i] for i in cons.members)
-                weight = sum(w for i, w in cons.members.items() if not frozen[i])
-                if weight <= 0.0:
-                    continue
-                t = (cons.capacity - used) / weight
-                if t < best_t - 1e-12:
-                    best_t = t
-                    binding = [cons]
-                elif abs(t - best_t) <= 1e-12:
-                    binding.append(cons)
-            if not binding:
-                break
-            best_t = max(best_t, 0.0)
-            for i in active:
-                rates[i] += best_t
-            for cons in binding:
-                for i in cons.members:
-                    frozen[i] = True
+        constraints, flow_cons = self._build_constraints(flows)
+        demands = [flow.demand for flow in flows]
+        rates, used = _progressive_fill(len(flows), demands, constraints, flow_cons)
 
         if self.metrics.enabled:
-            self._record_utilisation(constraints, rates)
+            self._record_utilisation(constraints, used)
         return FlowAllocation(
             rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
         )
 
+    def session(self, flows: Iterable[Flow] = ()) -> "AllocationSession":
+        """An :class:`AllocationSession` seeded with ``flows``."""
+        return AllocationSession(self, flows)
+
+    # -- naive baseline ----------------------------------------------------
+
+    def allocate_naive(self, flows: Sequence[Flow]) -> FlowAllocation:
+        """The pre-optimization allocator, kept as a benchmark baseline.
+
+        Re-traces every disk path and rebuilds every constraint on each
+        call, then runs progressive filling by resumming every
+        constraint's members every round.  Semantically identical to
+        :meth:`allocate` (same tie tolerance); used by the
+        ``alloc_scale`` benchmark to measure the speedup, and by tests
+        as a second oracle next to ``tests/reference_alloc.py``.
+        """
+        if not flows:
+            return FlowAllocation(rates={})
+        seen = set()
+        for flow in flows:
+            if flow.flow_id in seen:
+                raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+            seen.add(flow.flow_id)
+
+        # Uncached path walks + fresh constraints: the honest baseline.
+        directional: Dict[Tuple[str, str, bool], _Constraint] = {}
+        duplex: Dict[Tuple[str, str], _Constraint] = {}
+        root_iops: Dict[str, _Constraint] = {}
+        constraints: List[_Constraint] = []
+        for index, flow in enumerate(flows):
+            walk = self.fabric._trace_up_uncached(flow.disk_id, True)
+            if not walk or self.fabric.node(walk[-1]).kind.value != "host_port":
+                raise ValueError(f"disk {flow.disk_id!r} is not attached to any host")
+            links = list(zip(walk, walk[1:]))
+            for link in links:
+                key = (link[0], link[1], flow.is_read)
+                cons = directional.get(key)
+                if cons is None:
+                    direction = "read" if flow.is_read else "write"
+                    cons = _Constraint(
+                        self.per_direction_capacity,
+                        f"fabric.link.{link[0]}->{link[1]}.{direction}",
+                    )
+                    directional[key] = cons
+                    constraints.append(cons)
+                cons.members.append((index, 1.0))
+
+                dkey = (link[0], link[1])
+                dcons = duplex.get(dkey)
+                if dcons is None:
+                    dcons = _Constraint(
+                        self.duplex_capacity,
+                        f"fabric.link.{link[0]}->{link[1]}.duplex",
+                    )
+                    duplex[dkey] = dcons
+                    constraints.append(dcons)
+                dcons.members.append((index, 1.0))
+            if self.root_iops_limit is not None and links:
+                root = links[-1][1]
+                rcons = root_iops.get(root)
+                if rcons is None:
+                    rcons = _Constraint(
+                        self.root_iops_limit, f"fabric.root.{root}.iops"
+                    )
+                    root_iops[root] = rcons
+                    constraints.append(rcons)
+                rcons.members.append((index, 1.0 / flow.io_size))
+        # Demand caps as single-member constraints.
+        for i, flow in enumerate(flows):
+            cons = _Constraint(flow.demand, "")
+            cons.members.append((i, 1.0))
+            constraints.append(cons)
+
+        n = len(flows)
+        rates = [0.0] * n
+        frozen = [False] * n
+        level = 0.0
+        for _ in range(n + len(constraints)):
+            if all(frozen):
+                break
+            best = _INF
+            for cons in constraints:
+                used = 0.0
+                weight = 0.0
+                for i, w in cons.members:
+                    used += w * rates[i]
+                    if not frozen[i]:
+                        weight += w
+                if weight <= 0.0:
+                    continue
+                bound = (cons.capacity - used) / weight
+                if bound < best:
+                    best = bound
+            if best == _INF:
+                break
+            if best > level:
+                level = best
+            scale = abs(best)
+            cutoff = best + TIE_REL_TOL * (scale if scale > 1.0 else 1.0)
+            progressed = False
+            for cons in constraints:
+                used = 0.0
+                weight = 0.0
+                for i, w in cons.members:
+                    used += w * rates[i]
+                    if not frozen[i]:
+                        weight += w
+                if weight <= 0.0:
+                    continue
+                if (cons.capacity - used) / weight <= cutoff:
+                    for i, _w in cons.members:
+                        if not frozen[i]:
+                            frozen[i] = True
+                            rates[i] = level
+                            progressed = True
+            if not progressed:
+                break
+        return FlowAllocation(
+            rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
+        )
+
+    # -- metrics -----------------------------------------------------------
+
     def _record_utilisation(
-        self, constraints: Sequence[_Constraint], rates: Sequence[float]
+        self, constraints: Sequence[_Constraint], used: Sequence[float]
     ) -> None:
         """Per-link/root gauges from the final allocation (0..1 of cap)."""
-        allocations = self.metrics.counter("fabric.allocations")
-        allocations.inc()
-        for cons in constraints:
-            if not cons.label:
-                continue  # per-flow demand caps carry no metric name
-            used = sum(weight * rates[i] for i, weight in cons.members.items())
-            util = used / cons.capacity if cons.capacity > 0 else 0.0
-            self.metrics.gauge(f"{cons.label}.util").set(util)
+        counter = self._allocations_counter
+        if counter is None:
+            counter = self._allocations_counter = self.metrics.counter(
+                "fabric.allocations"
+            )
+        counter.inc()
+        for c, cons in enumerate(constraints):
+            util = used[c] / cons.capacity if cons.capacity > 0 else 0.0
+            gauge = cons.gauge
+            if gauge is None:
+                gauge = cons.gauge = self.metrics.gauge(f"{cons.label}.util")
+            gauge.set(util)
 
     # -- convenience -----------------------------------------------------------
 
     def aggregate_throughput(self, flows: Sequence[Flow]) -> float:
         """Total bytes/s delivered for ``flows``."""
         return self.allocate(flows).total()
+
+
+class _SessionConstraint:
+    __slots__ = ("capacity", "label", "members")
+
+    def __init__(self, capacity: float, label: str) -> None:
+        self.capacity = capacity
+        self.label = label
+        self.members: Dict[str, float] = {}
+
+
+class AllocationSession:
+    """Flow-churn fast path: reuse constraint structure across calls.
+
+    For workloads that add or remove one flow at a time (the "only
+    these flows changed" case), a session maintains the shared
+    constraints incrementally — :meth:`add_flow` traces one path and
+    touches only that flow's constraints; :meth:`remove_flow` detaches
+    only that flow's memberships — instead of rebuilding the skeleton
+    from every flow.  The max-min *filling* itself is always global (a
+    single flow change can shift every rate), so :meth:`allocate`
+    reruns the incremental filling over the maintained structure.
+
+    A topology-epoch change invalidates the session: the next call
+    re-traces every flow's path transparently.
+    """
+
+    def __init__(self, model: BandwidthModel, flows: Iterable[Flow] = ()) -> None:
+        self.model = model
+        self._flows: Dict[str, Flow] = {}
+        self._memberships: Dict[str, List[Tuple[Tuple, float]]] = {}
+        self._constraints: Dict[Tuple, _SessionConstraint] = {}
+        self._epoch = model.fabric.epoch
+        self._materialized: Optional[Tuple[List[Flow], List[_Constraint], List[List[Tuple[int, float]]]]] = None
+        for flow in flows:
+            self.add_flow(flow)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def _resync(self) -> None:
+        epoch = self.model.fabric.epoch
+        if epoch == self._epoch:
+            return
+        flows = list(self._flows.values())
+        self._flows.clear()
+        self._memberships.clear()
+        self._constraints.clear()
+        self._materialized = None
+        self._epoch = epoch
+        for flow in flows:
+            self._attach(flow)
+
+    def _attach(self, flow: Flow) -> None:
+        model = self.model
+        walk = model._flow_path(flow)
+        memberships: List[Tuple[Tuple, float]] = []
+        prev = walk[0]
+        for node in walk[1:]:
+            key = ("dir", prev, node, flow.is_read)
+            cons = self._constraints.get(key)
+            if cons is None:
+                direction = "read" if flow.is_read else "write"
+                cons = _SessionConstraint(
+                    model.per_direction_capacity,
+                    f"fabric.link.{prev}->{node}.{direction}",
+                )
+                self._constraints[key] = cons
+            cons.members[flow.flow_id] = 1.0
+            memberships.append((key, 1.0))
+
+            dkey = ("dup", prev, node)
+            dcons = self._constraints.get(dkey)
+            if dcons is None:
+                dcons = _SessionConstraint(
+                    model.duplex_capacity, f"fabric.link.{prev}->{node}.duplex"
+                )
+                self._constraints[dkey] = dcons
+            dcons.members[flow.flow_id] = 1.0
+            memberships.append((dkey, 1.0))
+            prev = node
+        if model.root_iops_limit is not None and len(walk) > 1:
+            rkey = ("iops", walk[-1])
+            rcons = self._constraints.get(rkey)
+            if rcons is None:
+                rcons = _SessionConstraint(
+                    model.root_iops_limit, f"fabric.root.{walk[-1]}.iops"
+                )
+                self._constraints[rkey] = rcons
+            weight = 1.0 / flow.io_size
+            rcons.members[flow.flow_id] = weight
+            memberships.append((rkey, weight))
+        self._flows[flow.flow_id] = flow
+        self._memberships[flow.flow_id] = memberships
+        self._materialized = None
+
+    def add_flow(self, flow: Flow) -> None:
+        self._resync()
+        if flow.flow_id in self._flows:
+            raise ValueError(f"duplicate flow id {flow.flow_id!r}")
+        self._attach(flow)
+
+    def remove_flow(self, flow_id: str) -> Flow:
+        self._resync()
+        flow = self._flows.pop(flow_id, None)
+        if flow is None:
+            raise KeyError(flow_id)
+        for key, _weight in self._memberships.pop(flow_id):
+            cons = self._constraints[key]
+            del cons.members[flow_id]
+            if not cons.members:
+                del self._constraints[key]
+        self._materialized = None
+        return flow
+
+    def allocate(self) -> FlowAllocation:
+        """Max-min fair rates for the session's current flow set."""
+        self._resync()
+        if not self._flows:
+            return FlowAllocation(rates={})
+        if self._materialized is None:
+            flows = list(self._flows.values())
+            index_of = {flow.flow_id: i for i, flow in enumerate(flows)}
+            constraints: List[_Constraint] = []
+            flow_cons: List[List[Tuple[int, float]]] = [[] for _ in flows]
+            # Sorted keys: deterministic constraint order independent of
+            # the add/remove history that produced the session state.
+            for key in sorted(self._constraints):
+                cons = self._constraints[key]
+                built = _Constraint(cons.capacity, cons.label)
+                cidx = len(constraints)
+                for flow_id in sorted(cons.members):
+                    weight = cons.members[flow_id]
+                    built.members.append((index_of[flow_id], weight))
+                    flow_cons[index_of[flow_id]].append((cidx, weight))
+                constraints.append(built)
+            self._materialized = (flows, constraints, flow_cons)
+        flows, constraints, flow_cons = self._materialized
+        demands = [flow.demand for flow in flows]
+        rates, used = _progressive_fill(len(flows), demands, constraints, flow_cons)
+        if self.model.metrics.enabled:
+            self.model._record_utilisation(constraints, used)
+        return FlowAllocation(
+            rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
+        )

@@ -10,6 +10,10 @@ Three builders are provided:
   disk can reach every host while the hardware count stays minimal.
 * :func:`prototype_fabric` — the paper's 16-disk, 4-host deploy unit
   (a :func:`ring_fabric` with the prototype's parameters).
+* :func:`rack_fabric` — N independent ring *pods* in one fabric, the
+  rack-scale topology used by the ``alloc_scale`` benchmark (a pod is
+  one deploy unit: 16 disks / 4 hosts at the defaults, so 15 pods is a
+  240-disk rack and 120 pods a 1920-disk row).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.fabric.topology import Fabric
 __all__ = [
     "dual_tree_fabric",
     "prototype_fabric",
+    "rack_fabric",
     "ring_fabric",
 ]
 
@@ -150,7 +155,15 @@ def ring_fabric(
 
     num_leaf_hubs = 2 * num_hosts
     fabric = Fabric(name=f"{prefix}ring-{num_leaf_hubs * disks_per_leaf}d-{num_hosts}h")
+    _build_ring_pod(fabric, num_hosts, disks_per_leaf, fan_in, prefix)
+    return fabric
 
+
+def _build_ring_pod(
+    fabric: Fabric, num_hosts: int, disks_per_leaf: int, fan_in: int, prefix: str
+) -> List[str]:
+    """Add one ring-topology pod to ``fabric``; returns its disk ids."""
+    num_leaf_hubs = 2 * num_hosts
     ports = [
         fabric.add(HostPort(f"{prefix}port-h{h}", host_id=f"{prefix}host{h}"))
         for h in range(num_hosts)
@@ -170,17 +183,46 @@ def ring_fabric(
         fabric.connect(leaf_hub.node_id, sw.node_id)
         leaf_hubs.append(leaf_hub)
 
+    disk_ids: List[str] = []
     disk_index = 0
     for g in range(num_leaf_hubs):
         for _ in range(disks_per_leaf):
             sw = fabric.add(Switch(f"{prefix}disksw{disk_index}"))
             fabric.connect(sw.node_id, leaf_hubs[g].node_id)
             fabric.connect(sw.node_id, leaf_hubs[(g + 2) % num_leaf_hubs].node_id)
-            _add_disk(fabric, disk_index, sw.node_id, prefix)
+            disk_ids.append(_add_disk(fabric, disk_index, sw.node_id, prefix))
             disk_index += 1
-    return fabric
+    return disk_ids
 
 
 def prototype_fabric() -> Fabric:
     """The paper's proof-of-concept unit: 16 disks, 4 hosts (§V-B)."""
     return ring_fabric(num_hosts=4, disks_per_leaf=2, fan_in=4)
+
+
+def rack_fabric(
+    num_pods: int,
+    num_hosts: int = 4,
+    disks_per_leaf: int = 2,
+    fan_in: int = 4,
+    prefix: str = "",
+) -> Fabric:
+    """``num_pods`` independent ring pods composed into one fabric.
+
+    Each pod is a full :func:`ring_fabric` deploy unit under node
+    prefix ``{prefix}p{pod}-`` (16 disks on 4 hosts at the defaults).
+    Pods share no links, which matches the paper's rack organisation —
+    a deploy unit is the replaceable hardware module — and makes the
+    rack's max-min allocation the union of the per-pod problems: the
+    ``alloc_scale`` benchmark uses this to scale flow count without
+    changing the character of each constraint.
+    """
+    if num_pods < 1:
+        raise FabricError("num_pods must be >= 1")
+    disks_per_pod = 2 * num_hosts * disks_per_leaf
+    fabric = Fabric(
+        name=f"{prefix}rack-{num_pods}x{disks_per_pod}d-{num_pods * num_hosts}h"
+    )
+    for pod in range(num_pods):
+        _build_ring_pod(fabric, num_hosts, disks_per_leaf, fan_in, f"{prefix}p{pod}-")
+    return fabric

@@ -17,7 +17,7 @@ Components carry a ``failed`` flag; connectivity and path logic live in
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = [
     "Bridge",
@@ -44,7 +44,14 @@ class NodeKind(enum.Enum):
 
 
 class FabricNode:
-    """Base class for all fabric components."""
+    """Base class for all fabric components.
+
+    Routing-relevant state changes (failure, repair, switch turns) are
+    reported to the owning :class:`~repro.fabric.topology.Fabric`
+    through ``_topology_listener`` so the fabric can invalidate its
+    path/constraint caches (the topology *epoch*).  The listener is
+    installed by ``Fabric.add``; a node belongs to one fabric.
+    """
 
     kind: NodeKind
 
@@ -53,12 +60,20 @@ class FabricNode:
             raise FabricError("node_id must be non-empty")
         self.node_id = node_id
         self.failed = False
+        self._topology_listener: Optional[Callable[[], None]] = None
+
+    def _topology_changed(self) -> None:
+        listener = self._topology_listener
+        if listener is not None:
+            listener()
 
     def fail(self) -> None:
         self.failed = True
+        self._topology_changed()
 
     def repair(self) -> None:
         self.failed = False
+        self._topology_changed()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = " FAILED" if self.failed else ""
@@ -109,7 +124,9 @@ class Switch(FabricNode):
     def state(self, value: int) -> None:
         if value not in (0, 1):
             raise FabricError(f"switch state must be 0 or 1, got {value!r}")
-        self._state = value
+        if value != self._state:
+            self._state = value
+            self._topology_changed()
 
     def turn(self, new_state: Optional[int] = None) -> int:
         """Set (or toggle) the switch state; returns the new state."""

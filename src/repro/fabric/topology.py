@@ -63,6 +63,20 @@ class Fabric:
         self._upstreams: Dict[str, List[str]] = {}
         # node_id -> downstream node ids (derived, kept in sync)
         self._downstreams: Dict[str, List[str]] = {}
+        # Topology epoch: bumped on every routing-relevant mutation
+        # (wiring, switch turns, failures/repairs).  Consumers key their
+        # caches on it — see trace_up and repro.fabric.bandwidth.
+        self._epoch = 0
+        self._trace_cache: Dict[Tuple[str, bool], Tuple[str, ...]] = {}
+        self._trace_cache_epoch = -1
+
+    @property
+    def epoch(self) -> int:
+        """Monotone counter identifying the current routing state."""
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
 
     # -- construction ----------------------------------------------------
 
@@ -72,6 +86,8 @@ class Fabric:
         self.nodes[node.node_id] = node
         self._upstreams[node.node_id] = []
         self._downstreams[node.node_id] = []
+        node._topology_listener = self._bump_epoch
+        self._bump_epoch()
         return node
 
     def connect(self, child_id: str, parent_id: str) -> None:
@@ -98,6 +114,7 @@ class Fabric:
                 raise FabricError(f"{parent_id!r} downstream port already used")
         ups.append(parent_id)
         self._downstreams[parent_id].append(child_id)
+        self._bump_epoch()
 
     def _require(self, node_id: str) -> FabricNode:
         node = self.nodes.get(node_id)
@@ -166,8 +183,31 @@ class Fabric:
 
         Returns the node ids visited (starting with the disk).  The walk
         ends at a host port, at a failed component (when
-        ``respect_failures``), or at a dead end.
+        ``respect_failures``), or at a dead end.  Results are memoized
+        per topology epoch; any switch turn, wiring change, failure or
+        repair invalidates the cache.
         """
+        return list(self.active_path(disk_id, respect_failures))
+
+    def active_path(self, disk_id: str, respect_failures: bool = True) -> Tuple[str, ...]:
+        """Epoch-cached :meth:`trace_up` returning a shared tuple.
+
+        Hot-path variant for callers (the bandwidth allocator) that
+        re-trace many disks per call: the returned tuple is owned by the
+        cache and must not be mutated.
+        """
+        cache = self._trace_cache
+        if self._trace_cache_epoch != self._epoch:
+            cache.clear()
+            self._trace_cache_epoch = self._epoch
+        key = (disk_id, respect_failures)
+        walk = cache.get(key)
+        if walk is None:
+            walk = tuple(self._trace_up_uncached(disk_id, respect_failures))
+            cache[key] = walk
+        return walk
+
+    def _trace_up_uncached(self, disk_id: str, respect_failures: bool) -> List[str]:
         node = self._require(disk_id)
         visited = [disk_id]
         seen = {disk_id}
@@ -190,7 +230,7 @@ class Fabric:
 
     def attached_port(self, disk_id: str, respect_failures: bool = True) -> Optional[str]:
         """Host port currently reachable from ``disk_id``, or None."""
-        walk = self.trace_up(disk_id, respect_failures)
+        walk = self.active_path(disk_id, respect_failures)
         last = self.nodes[walk[-1]]
         if last.kind is NodeKind.HOST_PORT and not (respect_failures and last.failed):
             return last.node_id

@@ -12,10 +12,9 @@ subsystem is built on it.
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
@@ -54,12 +53,10 @@ NORMAL = 1
 LOW = 2
 
 
-@dataclass(order=True)
-class _ScheduledItem:
-    time: float
-    priority: int
-    seq: int
-    event: "Event" = field(compare=False)
+# Scheduling records are plain tuples ``(time, priority, seq, event)``:
+# tuple comparison is implemented in C and the unique ``seq`` guarantees
+# ordering is decided before the (incomparable) event is reached.
+_ScheduledItem = Tuple[float, int, int, "Event"]
 
 
 class Event:
@@ -178,7 +175,7 @@ class Simulator:
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._now = float(start_time)
-        self._queue: list[_ScheduledItem] = []
+        self._queue: List[_ScheduledItem] = []
         self._seq = itertools.count()
         self._active = True
         self._step_hooks: List[Callable[[float, int, int], None]] = []
@@ -192,6 +189,9 @@ class Simulator:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.metrics.bind_clock(lambda: self._now)
         self._events_counter = self.metrics.counter("sim.events")
+        # With metrics, race detection and step hooks all off, step()
+        # takes a fast branch that just pops and processes.
+        self._instrumented = self.metrics.enabled or self._race_detector is not None
 
     @property
     def now(self) -> float:
@@ -207,6 +207,7 @@ class Simulator:
         execution order for replay-determinism checks.
         """
         self._step_hooks.append(hook)
+        self._instrumented = True
 
     def touch_resource(self, resource: str, write: bool = True) -> None:
         """Record a shared-resource touch for race detection.
@@ -315,10 +316,7 @@ class Simulator:
     # -- scheduling internals -------------------------------------------
 
     def _push(self, event: Event, delay: float, priority: int) -> None:
-        heapq.heappush(
-            self._queue,
-            _ScheduledItem(self._now + delay, priority, next(self._seq), event),
-        )
+        heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
 
     # -- running ---------------------------------------------------------
 
@@ -326,24 +324,27 @@ class Simulator:
         """Process the single next scheduled event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        item = heapq.heappop(self._queue)
-        self._now = item.time
+        item = heappop(self._queue)
+        self._now = item[0]
+        if not self._instrumented:
+            item[3]._process()
+            return
         self._events_counter.inc()
         for hook in self._step_hooks:
-            hook(item.time, item.priority, item.seq)
+            hook(item[0], item[1], item[2])
         detector = self._race_detector
         if detector is None:
-            item.event._process()
+            item[3]._process()
             return
-        detector.begin_event(item.time, item.priority, item.seq)
+        detector.begin_event(item[0], item[1], item[2])
         try:
-            item.event._process()
+            item[3]._process()
         finally:
             detector.end_event()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0].time if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else float("inf")
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the queue drains, or until simulated time ``until``.
@@ -352,12 +353,21 @@ class Simulator:
         ``max_events`` guard turns accidental infinite event loops into a
         loud error instead of a hang.
         """
+        queue = self._queue
+        pop = heappop
         processed = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self._now = until
                 return self._now
-            self.step()
+            # Inlined fast path; _instrumented is re-read every iteration
+            # because a callback may attach a step hook mid-run.
+            if self._instrumented:
+                self.step()
+            else:
+                item = pop(queue)
+                self._now = item[0]
+                item[3]._process()
             processed += 1
             if processed >= max_events:
                 raise SimulationError(
@@ -376,7 +386,7 @@ class Simulator:
         while not event.processed:
             if not self._queue:
                 raise SimulationError("event queue drained before target event fired")
-            if self._queue[0].time > limit:
+            if self._queue[0][0] > limit:
                 raise SimulationError(f"time limit {limit} reached before target event fired")
             self.step()
         if not event.ok:

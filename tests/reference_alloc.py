@@ -1,0 +1,130 @@
+"""Independent reference implementation of max-min fair allocation.
+
+This is the correctness oracle for the optimized incremental allocator
+in :mod:`repro.fabric.bandwidth`.  It deliberately shares **no** code
+with the implementation under test:
+
+* paths are walked here with the fabric's public primitives
+  (``active_upstream`` + node kinds), never through the epoch-cached
+  ``active_path``/``trace_up``, so a stale path cache cannot leak into
+  the oracle;
+* progressive filling is the textbook O(rounds × constraints × flows)
+  formulation: every round resums every constraint and freezes the
+  members of every binding one.
+
+The only intentional coupling is the shared tie tolerance
+(``TIE_REL_TOL``): both implementations must classify "these
+constraints bind at the same water level" identically or randomized
+comparisons would diverge on exact ties by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fabric.bandwidth import TIE_REL_TOL, Flow
+from repro.fabric.topology import Fabric
+
+__all__ = ["reference_allocate", "reference_path"]
+
+
+def reference_path(fabric: Fabric, disk_id: str) -> List[str]:
+    """Walk disk -> host port using only public single-step primitives."""
+    walk = [disk_id]
+    node = fabric.node(disk_id)
+    if node.failed:
+        return walk
+    seen = {disk_id}
+    current = disk_id
+    while True:
+        nxt = fabric.active_upstream(current)
+        if nxt is None:
+            return walk
+        if nxt in seen:
+            raise RuntimeError(f"cycle through {nxt!r}")
+        seen.add(nxt)
+        walk.append(nxt)
+        nxt_node = fabric.node(nxt)
+        if nxt_node.failed or nxt_node.kind.value == "host_port":
+            return walk
+        current = nxt
+
+
+def reference_allocate(
+    fabric: Fabric,
+    flows: Sequence[Flow],
+    per_direction_capacity: float,
+    duplex_capacity: float,
+    root_iops_limit: float | None,
+) -> Dict[str, float]:
+    """Textbook progressive filling; returns flow_id -> bytes/s."""
+    if not flows:
+        return {}
+
+    # (capacity, members) with members as {flow index: weight}.
+    constraints: List[Tuple[float, Dict[int, float]]] = []
+    directional: Dict[Tuple[str, str, bool], int] = {}
+    duplex: Dict[Tuple[str, str], int] = {}
+    root: Dict[str, int] = {}
+
+    def member_of(table: Dict, key, capacity: float, index: int, weight: float) -> None:
+        cidx = table.get(key)
+        if cidx is None:
+            cidx = len(constraints)
+            constraints.append((capacity, {}))
+            table[key] = cidx
+        constraints[cidx][1][index] = weight
+
+    for index, flow in enumerate(flows):
+        walk = reference_path(fabric, flow.disk_id)
+        if len(walk) < 2 or fabric.node(walk[-1]).kind.value != "host_port":
+            raise ValueError(f"disk {flow.disk_id!r} is not attached to any host")
+        for child, parent in zip(walk, walk[1:]):
+            member_of(
+                directional,
+                (child, parent, flow.is_read),
+                per_direction_capacity,
+                index,
+                1.0,
+            )
+            member_of(duplex, (child, parent), duplex_capacity, index, 1.0)
+        if root_iops_limit is not None:
+            member_of(root, walk[-1], root_iops_limit, index, 1.0 / flow.io_size)
+        # Demand cap as a single-member constraint.
+        constraints.append((flow.demand, {index: 1.0}))
+
+    n = len(flows)
+    rates = [0.0] * n
+    frozen = [False] * n
+    level = 0.0
+    while not all(frozen):
+        best = float("inf")
+        for capacity, members in constraints:
+            used = sum(w * rates[i] for i, w in members.items() if frozen[i])
+            weight = sum(w for i, w in members.items() if not frozen[i])
+            if weight <= 0.0:
+                continue
+            bound = (capacity - used) / weight
+            if bound < best:
+                best = bound
+        if best == float("inf"):
+            break
+        if best > level:
+            level = best
+        scale = abs(best)
+        cutoff = best + TIE_REL_TOL * (scale if scale > 1.0 else 1.0)
+        progressed = False
+        for capacity, members in constraints:
+            used = sum(w * rates[i] for i, w in members.items() if frozen[i])
+            weight = sum(w for i, w in members.items() if not frozen[i])
+            if weight <= 0.0:
+                continue
+            if (capacity - used) / weight <= cutoff:
+                for i in members:
+                    if not frozen[i]:
+                        frozen[i] = True
+                        rates[i] = level
+                        progressed = True
+        if not progressed:
+            break
+    return {flow.flow_id: rates[i] for i, flow in enumerate(flows)}
