@@ -5,10 +5,11 @@ Exit status is nonzero when any unsuppressed finding or type error is
 reported, so this doubles as the CI gate
 (``tests/test_static_analysis_clean.py`` runs the same checks inside
 the default pytest run).  The mypy pass applies the pyproject strict
-profile to ``repro.sim``, ``repro.analysis`` and ``repro.obs``.
+profile to ``repro.sim``, ``repro.analysis``, ``repro.obs`` and
+``repro.gateway``.
 
-Default-path invocations also run a perf smoke: the ``alloc_scale``
-and ``kernel_throughput`` benchmarks at their 16-disk smoke size,
+Default-path invocations also run a perf smoke: the ``alloc_scale``,
+``kernel_throughput`` and ``gateway`` benchmarks at their smoke sizes,
 failing on a >5x wall-clock regression against the committed
 ``BENCH_*.json`` baselines (skipped when explicit paths are passed, or
 with ``--no-perf``).
@@ -78,6 +79,14 @@ def _baseline_kernel_rate(history: List[Dict]) -> Optional[float]:
     return None
 
 
+def _baseline_gateway_wall(history: List[Dict]) -> Optional[float]:
+    """wall_seconds of the most recent smoke-shaped gateway record."""
+    for record in reversed(history):
+        if record.get("smoke") and record.get("wall_seconds"):
+            return float(record["wall_seconds"])
+    return None
+
+
 def run_perf_smoke() -> int:
     """Run the new benchmarks at smoke size; flag >5x regressions.
 
@@ -128,6 +137,25 @@ def run_perf_smoke() -> int:
             f"(baseline {baseline_rate:.0f} ev/s, floor {floor:.0f} ev/s) {verdict}"
         )
         if rate < floor:
+            status = 1
+
+    record = run_benchmark("gateway", repeat=1, smoke=True)
+    wall = record["wall_seconds"]
+    baseline_path = REPO_ROOT / "BENCH_gateway.json"
+    if baseline_path.exists():
+        baseline_wall = _baseline_gateway_wall(json.loads(baseline_path.read_text()))
+    else:
+        baseline_wall = None
+    if baseline_wall is None:
+        print("perf: gateway: no committed smoke baseline, comparison skipped")
+    else:
+        limit = PERF_REGRESSION_FACTOR * baseline_wall + 0.5
+        verdict = "OK" if wall <= limit else "REGRESSION"
+        print(
+            f"perf: gateway smoke sweep: {wall}s wall "
+            f"(baseline {baseline_wall}s, limit {limit:.2f}s) {verdict}"
+        )
+        if wall > limit:
             status = 1
     return status
 

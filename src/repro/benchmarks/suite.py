@@ -11,6 +11,11 @@ history files at the repo root):
 * ``kernel_throughput`` — raw events/sec of the discrete-event kernel
   with instrumentation off (the fast path) and on (metrics + digest),
   via self-rescheduling timer callbacks;
+* ``gateway`` — the request tier's offered-load sweep: both gateway
+  schedulers (power-aware batch vs naive FIFO) at several load scales,
+  recording latency percentiles, spin-ups and disk energy per point
+  (``smoke`` restricts to one load point at a shorter duration for the
+  CI perf gate);
 * any registered experiment name (e.g. ``figure5``) — wall time of a
   full experiment run; experiments that declare a ``settle_seconds``
   parameter are run with a nonzero settle so the simulator actually
@@ -240,10 +245,83 @@ def bench_kernel_throughput(
     )
 
 
+#: Load multipliers for the gateway sweep (1.0 = the gateway_slo
+#: experiment's contended default of ~1.5 req/s offered).
+GATEWAY_LOAD_SCALES: Tuple[float, ...] = (0.5, 1.0, 2.0)
+GATEWAY_DURATION_FULL = 180.0
+GATEWAY_DURATION_SMOKE = 60.0
+
+
+def bench_gateway(repeat: int = 1, seed: int = 42, smoke: bool = False) -> Dict:
+    """Offered load vs latency/power for both gateway schedulers.
+
+    Each sweep point runs :func:`repro.experiments.gateway_slo.run_point`
+    on a fresh deployment: open-loop multi-tenant arrivals against 16
+    initially spun-down disks under one power budget.  ``smoke`` runs a
+    single load point at a short duration so the perf gate stays cheap.
+    """
+    from repro.experiments import gateway_slo
+
+    load_scales = GATEWAY_LOAD_SCALES[1:2] if smoke else GATEWAY_LOAD_SCALES
+    duration = GATEWAY_DURATION_SMOKE if smoke else GATEWAY_DURATION_FULL
+    offered_rps = sum(spec.arrival_rate for spec in gateway_slo.TENANTS)
+    record = _base_record("gateway", repeat)
+    record["seed"] = seed
+    record["smoke"] = smoke
+    record["duration"] = duration
+    sweep: List[Dict] = []
+    wall_times: List[float] = []
+    registry = MetricsRegistry()
+    for _ in range(max(1, repeat)):
+        sweep = []
+        started_total = time.perf_counter()
+        for load_scale in load_scales:
+            for scheduler in ("batch", "fifo"):
+                t0 = time.perf_counter()
+                summary = gateway_slo.run_point(
+                    scheduler,
+                    seed=seed,
+                    duration=duration,
+                    load_scale=load_scale,
+                    metrics=registry,
+                )
+                point_wall = time.perf_counter() - t0
+                sweep.append(
+                    {
+                        "load_scale": load_scale,
+                        "offered_rps": round(offered_rps * load_scale, 3),
+                        "scheduler": scheduler,
+                        "completed": summary["completed"],
+                        "rejected": summary["rejected"],
+                        "slo_misses": summary["slo_misses"],
+                        "spin_ups": summary["spin_ups"],
+                        "batches": summary["batches"],
+                        "latency_p50": round(float(summary["latency_p50"]), 3),
+                        "latency_p99": round(float(summary["latency_p99"]), 3),
+                        "energy_joules": round(float(summary["energy_joules"]), 1),
+                        "wall_seconds": round(point_wall, 4),
+                    }
+                )
+        wall_times.append(time.perf_counter() - started_total)
+    record["sweep"] = sweep
+    counters = {
+        name: counter.value
+        for name, counter in registry.counters().items()
+        if name.startswith("gateway.") or name == "sim.events"
+    }
+    return _finish_record(
+        record,
+        wall_times,
+        registry.counter("sim.events").value,
+        counters,
+    )
+
+
 #: Pure-suite benchmarks (everything else resolves via EXPERIMENTS).
 BENCHMARKS: Dict[str, Callable[..., Dict]] = {
     "alloc_scale": bench_alloc_scale,
     "kernel_throughput": bench_kernel_throughput,
+    "gateway": bench_gateway,
 }
 
 

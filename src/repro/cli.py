@@ -11,6 +11,8 @@ Usage::
     python -m repro lint [paths...]      # determinism linter (src/repro)
     python -m repro check-determinism    # replay + race-detector + metrics check
     python -m repro bench alloc_scale    # wall-clock benchmark suite
+    python -m repro run gateway_slo      # request tier: batch vs FIFO
+    python -m repro bench gateway        # gateway offered-load sweep
 
 ``run``, ``validate``, ``check-determinism`` and ``bench`` share the
 same ``--json`` / ``--seed`` flags: ``--json`` switches the command's
@@ -149,7 +151,7 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
     """Run the replay-sensitive experiments twice with the race detector
     and the metrics registry armed; compare execution-order digests and
     the exported metric dumps byte for byte."""
-    from repro.experiments import figure5, reliability
+    from repro.experiments import figure5, gateway_slo, reliability
     from repro.obs import MetricsRegistry, export_json
     from repro.sim import EventDigest
 
@@ -158,7 +160,16 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
             kwargs["seed"] = args.seed
         return figure5.run(**kwargs)
 
-    checks = {"figure5": run_figure5, "reliability": reliability.run}
+    def run_gateway_slo(**kwargs):
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        return gateway_slo.run(**kwargs)
+
+    checks = {
+        "figure5": run_figure5,
+        "reliability": reliability.run,
+        "gateway_slo": run_gateway_slo,
+    }
     failures = 0
     report: Dict[str, Dict] = {}
     for name, runner in checks.items():
@@ -237,6 +248,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"  kernel: {record['events_per_second_fast']:.0f} ev/s fast, "
                     f"{record['events_per_second_instrumented']:.0f} ev/s "
                     f"instrumented ({record['fast_path_uplift']}x uplift)"
+                )
+            for point in record.get("sweep", []):
+                print(
+                    f"  load x{point['load_scale']} {point['scheduler']}: "
+                    f"{point['completed']} done, {point['spin_ups']} spin-ups, "
+                    f"p99 {point['latency_p99']}s, "
+                    f"{point['energy_joules']/1000.0:.1f} kJ"
                 )
     if args.as_json:
         print(json.dumps(records, indent=2, sort_keys=True))

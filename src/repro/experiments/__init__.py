@@ -13,6 +13,7 @@
 | ``hdfs_switch`` | §VII-B — HDFS across a disk switch               |
 | ``host_failover``| §I — 5.8 s single-host recovery                 |
 | ``ablations``   | DESIGN.md §4 — design-choice studies             |
+| ``gateway_slo`` | §IV-F — request tier: batching vs FIFO           |
 
 Every module declares an ``EXPERIMENT`` (see
 :mod:`repro.experiments.base`), collected here into :data:`EXPERIMENTS`;
@@ -28,6 +29,7 @@ from repro.experiments import (  # noqa: F401
     duplex,
     figure5,
     figure6,
+    gateway_slo,
     hdfs_switch,
     host_failover,
     reliability,
@@ -57,6 +59,7 @@ ALL_EXPERIMENTS = {
     "host_failover": host_failover,
     "ablations": ablations,
     "reliability": reliability,
+    "gateway_slo": gateway_slo,
 }
 
 EXPERIMENTS = ExperimentRegistry()

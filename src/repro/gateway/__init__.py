@@ -1,0 +1,72 @@
+"""repro.gateway — the multi-tenant request tier in front of the cluster.
+
+The layer the paper assumes but never draws: between "millions of
+archival users" and the 16-disk deploy unit sits a gateway that admits,
+queues and schedules requests.  Modules:
+
+* :mod:`repro.gateway.request` — typed requests and admission errors;
+* :mod:`repro.gateway.tenants` — tenant specs and the open-loop
+  (Poisson / trace-driven) traffic generator;
+* :mod:`repro.gateway.queues` — bounded per-tenant weighted-fair queues;
+* :mod:`repro.gateway.scheduler` — the power-budgeted cold-read batch
+  scheduler and the naive FIFO baseline;
+* :mod:`repro.gateway.gateway` — the gateway itself, dispatching
+  batches through the ClientLib mount path.
+
+See DESIGN.md §9 and the ``gateway_slo`` experiment.
+"""
+
+from repro.gateway.gateway import (  # noqa: F401
+    Gateway,
+    GatewayConfig,
+    GatewayObject,
+    GatewayStats,
+    TenantStats,
+    mount_gateway_spaces,
+)
+from repro.gateway.queues import PendingDisk, WeightedFairQueue  # noqa: F401
+from repro.gateway.request import (  # noqa: F401
+    AdmissionError,
+    GatewayError,
+    GatewayRequest,
+    QueueFullError,
+    RequestState,
+    UnknownTenantError,
+)
+from repro.gateway.scheduler import (  # noqa: F401
+    ColdReadBatchScheduler,
+    FifoScheduler,
+    PowerAccountant,
+    Scheduler,
+    make_scheduler,
+)
+from repro.gateway.tenants import (  # noqa: F401
+    OpenLoopTrafficGenerator,
+    TenantSpec,
+    TraceArrival,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ColdReadBatchScheduler",
+    "FifoScheduler",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayObject",
+    "GatewayRequest",
+    "GatewayStats",
+    "OpenLoopTrafficGenerator",
+    "PendingDisk",
+    "PowerAccountant",
+    "QueueFullError",
+    "RequestState",
+    "Scheduler",
+    "TenantSpec",
+    "TenantStats",
+    "TraceArrival",
+    "UnknownTenantError",
+    "WeightedFairQueue",
+    "make_scheduler",
+    "mount_gateway_spaces",
+]

@@ -1,0 +1,564 @@
+"""The gateway: admission, fair queuing, power-budgeted dispatch.
+
+One :class:`Gateway` fronts a set of mounted UStore spaces (one per
+backing disk).  Requests arrive via :meth:`Gateway.submit` — admission
+control and SLO tagging happen synchronously at the door — and are
+drained by a single dispatcher process that consults the configured
+scheduler strategy (:mod:`repro.gateway.scheduler`) and the power
+accountant before spawning one serving process per disk batch.
+
+I/O goes through the existing ClientLib mount path
+(:class:`~repro.cluster.clientlib.MountedSpace`), so endpoint failures
+surface exactly as they do for any UStore client: a ``SessionError``
+inside the space triggers a transparent remount and the I/O retries
+against the failed-over host.  The gateway issues each queued request
+to the space exactly once (``attempts`` counts gateway-level issues,
+not ClientLib-internal retries); a request is marked failed only when
+the ClientLib exhausts its remount budget.
+
+Spin-*down* is delegated to :mod:`repro.power.policy` — the gateway
+runs a ``run_policy`` loop over its disks — plus a reclaim step: when
+queued work cannot be dispatched within the wattage budget, the
+dispatcher spins down the least-recently-used idle disk to free watts
+instead of waiting out the policy's idle timeout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.cluster.clientlib import MountedSpace, StorageUnavailableError
+from repro.cluster.namespace import parse_space_id
+from repro.disk.device import SimulatedDisk
+from repro.disk.states import DiskPowerState
+from repro.obs import DEFAULT_DEPTH_BUCKETS
+from repro.power.policy import AdaptiveTimeoutPolicy, FixedTimeoutPolicy, run_policy
+from repro.sim import Event, Simulator
+
+from repro.gateway.queues import WeightedFairQueue
+from repro.gateway.request import GatewayError, GatewayRequest, RequestState
+from repro.gateway.scheduler import HostLookup, PowerAccountant, make_scheduler
+from repro.gateway.tenants import TenantSpec
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.cluster.deployment import Deployment
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "GatewayObject",
+    "GatewayStats",
+    "TenantStats",
+    "mount_gateway_spaces",
+]
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway tuning knobs; defaults model a 3-disk power envelope."""
+
+    #: Wattage ceiling over all gateway-managed disks (24 W ≈ three
+    #: USB-profile disks at active draw).
+    power_budget_watts: float = 24.0
+    #: Per-disk budget charge; ``None`` derives the active draw from the
+    #: first attached disk's power profile.
+    watts_per_disk: Optional[float] = None
+    scheduler: str = "batch"
+    max_batch: int = 64
+    #: Dispatcher back-off while budget-blocked with nothing in flight.
+    poll_interval: float = 1.0
+    #: Idle timeout handed to the spin-down policy loop.
+    spin_down_idle_seconds: float = 12.0
+    policy_check_interval: float = 2.0
+    run_spin_down_policy: bool = True
+    #: Use §IV-F's thrash-adaptive policy instead of the fixed timeout.
+    adaptive_spin_down: bool = False
+
+
+@dataclass(frozen=True)
+class GatewayObject:
+    """One addressable storage region behind the gateway."""
+
+    space_id: str
+    disk_id: str
+    region_bytes: int
+
+
+@dataclass
+class TenantStats:
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    slo_misses: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+@dataclass
+class GatewayStats:
+    """Exact (non-bucketed) request accounting for experiment anchors."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    slo_misses: int = 0
+    batches: int = 0
+    reclaim_spin_downs: int = 0
+    latencies: List[float] = field(default_factory=list)
+    per_tenant: Dict[str, TenantStats] = field(default_factory=dict)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil((q / 100.0) * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Gateway:
+    """Multi-tenant request tier over a set of mounted spaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tenants: Sequence[TenantSpec],
+        config: GatewayConfig = GatewayConfig(),
+    ) -> None:
+        if not tenants:
+            raise ValueError("gateway needs at least one tenant")
+        self.sim = sim
+        self.config = config
+        self._tenants: Dict[str, TenantSpec] = {}
+        for spec in tenants:
+            if spec.name in self._tenants:
+                raise ValueError(f"duplicate tenant {spec.name!r}")
+            self._tenants[spec.name] = spec
+        self.queue = WeightedFairQueue(self._tenants)
+        self.stats = GatewayStats()
+        for name in self._tenants:
+            self.stats.per_tenant[name] = TenantStats()
+        self._scheduler = make_scheduler(config.scheduler, config.max_batch)
+        self._objects: List[GatewayObject] = []
+        self._spaces: Dict[str, MountedSpace] = {}
+        self._disk_of_space: Dict[str, str] = {}
+        self._disks: Dict[str, SimulatedDisk] = {}
+        self._host_of: HostLookup = lambda disk_id: None
+        self._power: Optional[PowerAccountant] = None
+        self._in_flight: Dict[str, List[GatewayRequest]] = {}
+        self._kick: Optional[Event] = None
+        self._next_request_id = 0
+        self._started = False
+        self._baseline_spin_ups = 0
+        self._baseline_energy = 0.0
+        # Obs instruments, fetched once (no-ops on the null registry).
+        metrics = sim.metrics
+        self._m_submitted = metrics.counter("gateway.submitted")
+        self._m_admitted = metrics.counter("gateway.admitted")
+        self._m_rejected = metrics.counter("gateway.rejected")
+        self._m_completed = metrics.counter("gateway.completed")
+        self._m_failed = metrics.counter("gateway.failed")
+        self._m_slo_miss = metrics.counter("gateway.slo_miss")
+        self._m_batches = metrics.counter("gateway.batches")
+        self._m_reclaims = metrics.counter("gateway.reclaim_spin_downs")
+        self._m_latency = metrics.histogram("gateway.latency_seconds")
+        self._m_queue_wait = metrics.histogram("gateway.queue_wait_seconds")
+        self._m_batch_size = metrics.histogram(
+            "gateway.batch_size", DEFAULT_DEPTH_BUCKETS
+        )
+        self._m_depth_total = metrics.gauge("gateway.queue_depth.total")
+        self._m_depth = {
+            name: metrics.gauge(f"gateway.queue_depth.{name}")
+            for name in self._tenants
+        }
+        self._m_tenant_latency = {
+            name: metrics.histogram(f"gateway.latency_seconds.{name}")
+            for name in self._tenants
+        }
+
+    # -- configuration ----------------------------------------------------
+
+    def tenant(self, name: str) -> TenantSpec:
+        spec = self._tenants.get(name)
+        if spec is None:
+            raise GatewayError(f"unknown tenant {name!r}")
+        return spec
+
+    def tenant_specs(self) -> List[TenantSpec]:
+        return list(self._tenants.values())
+
+    def objects(self) -> List[GatewayObject]:
+        return self._objects
+
+    def attach(
+        self,
+        objects: Sequence[GatewayObject],
+        spaces: Mapping[str, MountedSpace],
+        disks: Mapping[str, SimulatedDisk],
+        host_of: Optional[HostLookup] = None,
+    ) -> None:
+        """Bind the gateway to its mounted spaces and backing disks."""
+        if self._started:
+            raise GatewayError("cannot attach after start()")
+        if not objects:
+            raise GatewayError("gateway needs at least one object")
+        self._objects = sorted(objects, key=lambda o: o.space_id)
+        for obj in self._objects:
+            if obj.space_id not in spaces:
+                raise GatewayError(f"object {obj.space_id!r} has no mounted space")
+            if obj.disk_id not in disks:
+                raise GatewayError(f"object {obj.space_id!r} names unknown disk")
+            self._spaces[obj.space_id] = spaces[obj.space_id]
+            self._disk_of_space[obj.space_id] = obj.disk_id
+            self._disks[obj.disk_id] = disks[obj.disk_id]
+        if host_of is not None:
+            self._host_of = host_of
+        watts = self.config.watts_per_disk
+        if watts is None:
+            first = self._disks[sorted(self._disks)[0]]
+            watts = first.default_power_profile().active
+        self._power = PowerAccountant(
+            self._disks, self.config.power_budget_watts, watts
+        )
+
+    def start(self) -> Event:
+        """Snapshot power baselines and spawn the dispatcher (+ policy)."""
+        if self._power is None:
+            raise GatewayError("attach() the gateway before start()")
+        if self._started:
+            raise GatewayError("gateway already started")
+        self._started = True
+        self._baseline_spin_ups = self._total_spin_ups()
+        self._baseline_energy = self._total_energy()
+        if self.config.run_spin_down_policy:
+            if self.config.adaptive_spin_down:
+                policy: object = AdaptiveTimeoutPolicy(
+                    idle_timeout=self.config.spin_down_idle_seconds
+                )
+            else:
+                policy = FixedTimeoutPolicy(
+                    idle_timeout=self.config.spin_down_idle_seconds
+                )
+            run_policy(
+                self.sim,
+                self._disks,
+                policy,
+                check_interval=self.config.policy_check_interval,
+            )
+        return self.sim.process(self._dispatcher())
+
+    # -- admission --------------------------------------------------------
+
+    def submit(
+        self,
+        tenant: str,
+        space_id: str,
+        offset: int,
+        size: int,
+        is_read: bool = True,
+    ) -> GatewayRequest:
+        """Admit one request (or raise a typed admission error)."""
+        self.stats.submitted += 1
+        self._m_submitted.inc()
+        spec = self._tenants.get(tenant)
+        disk_id = self._disk_of_space.get(space_id)
+        if disk_id is None:
+            raise GatewayError(f"unknown space {space_id!r}")
+        now = self.sim.now
+        request = GatewayRequest(
+            request_id=self._next_request_id,
+            tenant=tenant,
+            space_id=space_id,
+            disk_id=disk_id,
+            offset=offset,
+            size=size,
+            is_read=is_read,
+            arrival=now,
+            deadline=now + (spec.slo_seconds if spec is not None else 0.0),
+        )
+        try:
+            self.queue.push(request)
+        except GatewayError:
+            self.stats.rejected += 1
+            self._m_rejected.inc()
+            if spec is not None:
+                self.stats.per_tenant[tenant].rejected += 1
+            raise
+        self._next_request_id += 1
+        self.stats.admitted += 1
+        self._m_admitted.inc()
+        self._update_depth_gauges()
+        self._wake()
+        return request
+
+    # -- dispatch loop ----------------------------------------------------
+
+    def outstanding(self) -> int:
+        """Requests admitted but not yet completed or failed."""
+        in_flight = sum(len(batch) for batch in self._in_flight.values())
+        return self.queue.total_depth() + in_flight
+
+    def drained(self) -> bool:
+        return self.outstanding() == 0
+
+    def _wake(self) -> None:
+        kick = self._kick
+        if kick is not None and not kick.triggered:
+            kick.succeed()
+
+    def _dispatcher(self) -> Generator[Event, None, None]:
+        while True:
+            kick = self.sim.event()
+            self._kick = kick
+            dispatched = self._dispatch_ready()
+            if self.queue.total_depth() > 0 and not dispatched:
+                if self._reclaim_idle():
+                    continue  # freed watts; try to dispatch again now
+                if not self._in_flight:
+                    # Budget-blocked with nothing running: poll so the
+                    # spin-down policy's progress is eventually seen.
+                    yield self.sim.any_of(
+                        [kick, self.sim.timeout(self.config.poll_interval)]
+                    )
+                    continue
+            yield kick
+
+    def _dispatch_ready(self) -> bool:
+        """Grant batches while the budget allows; True if any started."""
+        power = self._power
+        assert power is not None  # start() guarantees attach() ran
+        pending = [
+            entry
+            for entry in self.queue.pending_by_disk()
+            if entry.disk_id not in self._in_flight
+        ]
+        if not pending:
+            return False
+        busy_hosts: List[str] = []
+        for disk_id in sorted(self._in_flight):
+            host = self._host_of(disk_id)
+            if host is not None:
+                busy_hosts.append(host)
+        dispatched = False
+        for entry in self._scheduler.order(pending, busy_hosts, self._host_of):
+            if not power.can_afford(entry.disk_id):
+                if self._scheduler.head_of_line:
+                    break  # the naive baseline stalls behind its head
+                continue  # already-spinning disks may still be free
+            batch = self.queue.take_for_disk(
+                entry.disk_id, self._scheduler.batch_limit(entry)
+            )
+            if not batch:
+                continue
+            power.grant(entry.disk_id)
+            self._in_flight[entry.disk_id] = batch
+            now = self.sim.now
+            for request in batch:
+                request.state = RequestState.DISPATCHED
+                request.dispatched_at = now
+                request.attempts += 1
+                self._m_queue_wait.observe(now - request.arrival)
+            self.stats.batches += 1
+            self._m_batches.inc()
+            self._m_batch_size.observe(float(len(batch)))
+            self.sim.process(self._serve_batch(entry.disk_id, batch))
+            dispatched = True
+        if dispatched:
+            self._update_depth_gauges()
+        return dispatched
+
+    def _serve_batch(
+        self, disk_id: str, batch: List[GatewayRequest]
+    ) -> Generator[Event, None, None]:
+        try:
+            for request in batch:
+                space = self._spaces[request.space_id]
+                try:
+                    if request.is_read:
+                        yield from space.read(request.offset, request.size)
+                    else:
+                        yield from space.write(request.offset, request.size)
+                except StorageUnavailableError as exc:
+                    self._finish(request, failure=str(exc))
+                else:
+                    self._finish(request, failure=None)
+        finally:
+            self._in_flight.pop(disk_id, None)
+            power = self._power
+            if power is not None:
+                power.release(disk_id)
+            self._wake()
+
+    def _finish(self, request: GatewayRequest, failure: Optional[str]) -> None:
+        request.completed_at = self.sim.now
+        tenant = self.stats.per_tenant.get(request.tenant)
+        if failure is not None:
+            request.state = RequestState.FAILED
+            request.failure = failure
+            self.stats.failed += 1
+            self._m_failed.inc()
+            if tenant is not None:
+                tenant.failed += 1
+            return
+        request.state = RequestState.COMPLETED
+        latency = request.completed_at - request.arrival
+        self.stats.completed += 1
+        self.stats.latencies.append(latency)
+        self._m_completed.inc()
+        self._m_latency.observe(latency)
+        if tenant is not None:
+            tenant.completed += 1
+            tenant.latencies.append(latency)
+            self._m_tenant_latency[request.tenant].observe(latency)
+        if request.missed_slo():
+            self.stats.slo_misses += 1
+            self._m_slo_miss.inc()
+            if tenant is not None:
+                tenant.slo_misses += 1
+
+    def _reclaim_idle(self) -> bool:
+        """Spin down one idle disk to free budget for queued work.
+
+        Prefers idle disks with no queued requests (spinning them down
+        costs nothing), then least-recently-used among the rest — the
+        classic trade of one extra spin cycle for forward progress.
+        """
+        queued_disks = {entry.disk_id for entry in self.queue.pending_by_disk()}
+        candidates: List[Tuple[int, float, str]] = []
+        for disk_id in sorted(self._disks):
+            if disk_id in self._in_flight:
+                continue
+            power = self._power
+            if power is not None and power.granted(disk_id):
+                continue
+            disk = self._disks[disk_id]
+            if disk.power_state is not DiskPowerState.IDLE:
+                continue
+            candidates.append(
+                (1 if disk_id in queued_disks else 0, disk.idle_since, disk_id)
+            )
+        if not candidates:
+            return False
+        candidates.sort()
+        _, _, victim = candidates[0]
+        self._disks[victim].spin_down()
+        self.stats.reclaim_spin_downs += 1
+        self._m_reclaims.inc()
+        return True
+
+    def _update_depth_gauges(self) -> None:
+        depths = self.queue.depths()
+        for name in self._m_depth:
+            self._m_depth[name].set(float(depths.get(name, 0)))
+        self._m_depth_total.set(float(sum(depths.values())))
+
+    # -- accounting -------------------------------------------------------
+
+    def _total_spin_ups(self) -> int:
+        return sum(
+            self._disks[disk_id].states.spin_up_count
+            for disk_id in sorted(self._disks)
+        )
+
+    def _total_energy(self) -> float:
+        return sum(
+            self._disks[disk_id].energy_joules() for disk_id in sorted(self._disks)
+        )
+
+    def spin_ups(self) -> int:
+        """Disk spin-ups since :meth:`start` across gateway disks."""
+        return self._total_spin_ups() - self._baseline_spin_ups
+
+    def energy_joules(self) -> float:
+        """Disk energy since :meth:`start` across gateway disks."""
+        return self._total_energy() - self._baseline_energy
+
+    def summary(self) -> Dict[str, object]:
+        """Exact request/power accounting for experiments and benches."""
+        stats = self.stats
+        per_tenant: Dict[str, Dict[str, float]] = {}
+        for name in stats.per_tenant:
+            tenant = stats.per_tenant[name]
+            per_tenant[name] = {
+                "completed": float(tenant.completed),
+                "failed": float(tenant.failed),
+                "rejected": float(tenant.rejected),
+                "slo_misses": float(tenant.slo_misses),
+                "latency_p50": _percentile(tenant.latencies, 50.0),
+                "latency_p99": _percentile(tenant.latencies, 99.0),
+            }
+        mean = (
+            sum(stats.latencies) / len(stats.latencies) if stats.latencies else 0.0
+        )
+        return {
+            "scheduler": self._scheduler.name,
+            "power_budget_watts": self.config.power_budget_watts,
+            "submitted": stats.submitted,
+            "admitted": stats.admitted,
+            "rejected": stats.rejected,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "slo_misses": stats.slo_misses,
+            "batches": stats.batches,
+            "reclaim_spin_downs": stats.reclaim_spin_downs,
+            "latency_mean": mean,
+            "latency_p50": _percentile(stats.latencies, 50.0),
+            "latency_p99": _percentile(stats.latencies, 99.0),
+            "spin_ups": self.spin_ups(),
+            "energy_joules": self.energy_joules(),
+            "per_tenant": per_tenant,
+        }
+
+
+def mount_gateway_spaces(
+    deployment: "Deployment",
+    space_bytes: int,
+    client_name: str = "gateway0",
+    service: str = "gateway",
+    max_spaces: Optional[int] = None,
+) -> Tuple[List[GatewayObject], Dict[str, MountedSpace]]:
+    """Allocate and mount one space per distinct disk for a gateway.
+
+    Runs the allocation conversation synchronously on the deployment's
+    simulator (call after :meth:`Deployment.settle`).  Returns
+    ``(objects, spaces)`` ready for :meth:`Gateway.attach`; allocation
+    uses ``exclude_disks`` so every object lands on its own spindle.
+    """
+    client = deployment.new_client(client_name, service=service)
+    limit = len(deployment.disks) if max_spaces is None else max_spaces
+    objects: List[GatewayObject] = []
+    spaces: Dict[str, MountedSpace] = {}
+
+    def setup() -> Generator[Event, None, None]:
+        used_disks: List[str] = []
+        for _ in range(limit):
+            info = yield from client.allocate(
+                space_bytes, exclude_disks=list(used_disks)
+            )
+            space = yield from client.mount(info["space_id"])
+            _, disk_id, _ = parse_space_id(info["space_id"])
+            used_disks.append(disk_id)
+            objects.append(
+                GatewayObject(
+                    space_id=info["space_id"],
+                    disk_id=disk_id,
+                    region_bytes=space_bytes,
+                )
+            )
+            spaces[info["space_id"]] = space
+
+    deployment.sim.run_until_event(deployment.sim.process(setup()))
+    return objects, spaces

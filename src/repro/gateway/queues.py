@@ -1,0 +1,142 @@
+"""Per-tenant weighted-fair queues with bounded admission.
+
+Start-time fair queuing over bytes: each admitted request gets a
+virtual *fair tag* ``max(V, last_finish[tenant]) + size/weight`` where
+``V`` is the queue's virtual time (advanced to the largest dispatched
+tag).  Draining in tag order gives each backlogged tenant service in
+proportion to its weight, measured in bytes, while an idle tenant's
+unused share is redistributed rather than banked.
+
+Admission is a hard per-tenant depth bound checked before tagging, so
+a misbehaving tenant overflows its own queue (typed
+:class:`~repro.gateway.request.QueueFullError`) instead of growing the
+gateway without bound — the open-loop generator keeps offering load
+regardless, which is exactly the saturation regime the bound exists
+for.
+
+Everything here is plain data structures; iteration orders are the
+tenant registration order and explicit sort keys only, keeping the
+queue safe to use from event-scheduling code (the DET003 contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.gateway.request import GatewayRequest, QueueFullError, UnknownTenantError
+from repro.gateway.tenants import TenantSpec
+
+__all__ = ["PendingDisk", "WeightedFairQueue"]
+
+
+@dataclass(frozen=True)
+class PendingDisk:
+    """Summary of one disk's queued work, as the scheduler sees it."""
+
+    disk_id: str
+    count: int
+    earliest_arrival: float
+    earliest_deadline: float
+    oldest_request_id: int
+    min_fair_tag: float
+
+
+class WeightedFairQueue:
+    """Bounded per-tenant FIFOs drained in weighted-fair tag order."""
+
+    def __init__(self, tenants: Mapping[str, TenantSpec]) -> None:
+        if not tenants:
+            raise ValueError("weighted-fair queue needs at least one tenant")
+        self._specs: Dict[str, TenantSpec] = dict(tenants)
+        self._queues: Dict[str, List[GatewayRequest]] = {
+            name: [] for name in tenants
+        }
+        self._virtual_time = 0.0
+        self._last_finish: Dict[str, float] = {name: 0.0 for name in tenants}
+
+    # -- admission ---------------------------------------------------------
+
+    def push(self, request: GatewayRequest) -> None:
+        """Admit one request or raise a typed admission error."""
+        spec = self._specs.get(request.tenant)
+        if spec is None:
+            raise UnknownTenantError(request.tenant)
+        pending = self._queues[request.tenant]
+        if len(pending) >= spec.max_queue_depth:
+            raise QueueFullError(request.tenant, len(pending), spec.max_queue_depth)
+        start = max(self._virtual_time, self._last_finish[request.tenant])
+        finish = start + float(request.size) / spec.weight
+        request.fair_tag = finish
+        self._last_finish[request.tenant] = finish
+        pending.append(request)
+
+    # -- introspection -----------------------------------------------------
+
+    def depth(self, tenant: str) -> int:
+        return len(self._queues.get(tenant, ()))
+
+    def total_depth(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depths(self) -> Dict[str, int]:
+        return {name: len(queue) for name, queue in self._queues.items()}
+
+    def pending_by_disk(self) -> List[PendingDisk]:
+        """Queued work grouped by target disk, sorted by disk id."""
+        summary: Dict[str, List[GatewayRequest]] = {}
+        for name in self._queues:
+            for request in self._queues[name]:
+                summary.setdefault(request.disk_id, []).append(request)
+        pending: List[PendingDisk] = []
+        for disk_id in sorted(summary):
+            requests = summary[disk_id]
+            pending.append(
+                PendingDisk(
+                    disk_id=disk_id,
+                    count=len(requests),
+                    earliest_arrival=min(r.arrival for r in requests),
+                    earliest_deadline=min(r.deadline for r in requests),
+                    oldest_request_id=min(r.request_id for r in requests),
+                    min_fair_tag=min(r.fair_tag for r in requests),
+                )
+            )
+        return pending
+
+    # -- extraction --------------------------------------------------------
+
+    def take_for_disk(self, disk_id: str, limit: int) -> List[GatewayRequest]:
+        """Remove up to ``limit`` of the disk's requests in fair-tag order."""
+        if limit < 1:
+            return []
+        matching: List[Tuple[float, int, GatewayRequest]] = []
+        for name in self._queues:
+            for request in self._queues[name]:
+                if request.disk_id == disk_id:
+                    matching.append((request.fair_tag, request.request_id, request))
+        matching.sort(key=lambda item: (item[0], item[1]))
+        taken = [request for _, _, request in matching[:limit]]
+        for request in taken:
+            self._queues[request.tenant].remove(request)
+            if request.fair_tag > self._virtual_time:
+                self._virtual_time = request.fair_tag
+        return taken
+
+    def take_oldest(self) -> Optional[GatewayRequest]:
+        """Remove the globally oldest request (strict FIFO; ignores tags)."""
+        oldest: Optional[GatewayRequest] = None
+        for name in self._queues:
+            queue = self._queues[name]
+            if not queue:
+                continue
+            head = queue[0]
+            if oldest is None or (head.arrival, head.request_id) < (
+                oldest.arrival,
+                oldest.request_id,
+            ):
+                oldest = head
+        if oldest is not None:
+            self._queues[oldest.tenant].remove(oldest)
+            if oldest.fair_tag > self._virtual_time:
+                self._virtual_time = oldest.fair_tag
+        return oldest

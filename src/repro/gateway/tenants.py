@@ -1,0 +1,195 @@
+"""Tenant specifications and the open-loop traffic generator.
+
+The generator is *open loop*: arrivals are drawn from a per-tenant
+Poisson process whose rate is ``users × rate_per_user``, so a tenant
+modelling two million archival users costs exactly one simulation
+process, not two million.  Closed-loop drivers (``repro.workload
+.iometer``) throttle themselves to the storage's service rate and hide
+saturation; an open-loop front door keeps offering load while queues
+grow, which is how admission control and SLO misses become visible.
+
+Arrivals can also be replayed from an explicit trace
+(:class:`TraceArrival` lists), for tests and for feeding recorded
+workloads through the same admission path.
+
+All randomness flows through named :class:`~repro.sim.rng.RngRegistry`
+streams (``gateway.arrivals.<tenant>``), one per tenant, so adding a
+tenant never perturbs another tenant's arrival sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Sequence, Tuple
+
+from repro.sim import Event, RngRegistry, Simulator
+from repro.workload.specs import MB
+
+from repro.gateway.request import AdmissionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.gateway.gateway import Gateway
+
+__all__ = ["OpenLoopTrafficGenerator", "TenantSpec", "TraceArrival"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic contract and SLO.
+
+    ``weight`` feeds the weighted-fair queue (share of service when the
+    gateway is contended); ``max_queue_depth`` is the admission bound;
+    ``slo_seconds`` stamps each request's deadline at arrival.
+    ``object_sizes`` is a discrete size mix: ``((size_bytes, weight),
+    ...)``.
+    """
+
+    name: str
+    weight: float = 1.0
+    users: int = 1
+    rate_per_user: float = 0.0
+    read_fraction: float = 1.0
+    object_sizes: Tuple[Tuple[int, float], ...] = ((4 * MB, 1.0),)
+    slo_seconds: float = 60.0
+    max_queue_depth: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be positive")
+        if self.users < 0 or self.rate_per_user < 0:
+            raise ValueError(f"{self.name}: negative traffic rate")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(f"{self.name}: read_fraction outside [0, 1]")
+        if self.max_queue_depth < 1:
+            raise ValueError(f"{self.name}: max_queue_depth must be >= 1")
+        if not self.object_sizes or any(
+            size <= 0 or share <= 0 for size, share in self.object_sizes
+        ):
+            raise ValueError(f"{self.name}: object_sizes must be positive pairs")
+
+    @property
+    def arrival_rate(self) -> float:
+        """Aggregate offered requests/second across all logical users."""
+        return self.users * self.rate_per_user
+
+
+@dataclass(frozen=True)
+class TraceArrival:
+    """One trace-driven arrival (times are absolute sim seconds)."""
+
+    time: float
+    object_index: int
+    size: int
+    is_read: bool = True
+
+
+@dataclass
+class _TenantTraffic:
+    """Per-tenant bookkeeping the generator exposes for assertions."""
+
+    submitted: int = 0
+    rejected: int = 0
+
+
+class OpenLoopTrafficGenerator:
+    """Drive a gateway with Poisson or trace-driven tenant arrivals."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gateway: "Gateway",
+        rng: RngRegistry,
+        load_scale: float = 1.0,
+    ) -> None:
+        if load_scale < 0:
+            raise ValueError("load_scale must be non-negative")
+        self.sim = sim
+        self.gateway = gateway
+        self.rng = rng
+        self.load_scale = load_scale
+        self.stats: Dict[str, _TenantTraffic] = {}
+
+    # -- arrival processes ------------------------------------------------
+
+    def start(self, duration: float) -> List[Event]:
+        """Spawn one Poisson arrival process per gateway tenant.
+
+        Returns the processes (they end once ``duration`` sim seconds of
+        arrivals have been offered).
+        """
+        processes: List[Event] = []
+        end = self.sim.now + duration
+        for spec in self.gateway.tenant_specs():
+            self.stats.setdefault(spec.name, _TenantTraffic())
+            if spec.arrival_rate * self.load_scale > 0.0:
+                processes.append(self.sim.process(self._poisson_loop(spec, end)))
+        return processes
+
+    def replay(self, tenant: str, arrivals: Sequence[TraceArrival]) -> Event:
+        """Spawn a process replaying an explicit arrival trace."""
+        spec = self.gateway.tenant(tenant)
+        self.stats.setdefault(spec.name, _TenantTraffic())
+        ordered = sorted(arrivals, key=lambda a: (a.time, a.object_index))
+        return self.sim.process(self._replay_loop(spec, ordered))
+
+    def _poisson_loop(
+        self, spec: TenantSpec, end: float
+    ) -> Generator[Event, None, None]:
+        rand = self.rng.stream(f"gateway.arrivals.{spec.name}")
+        rate = spec.arrival_rate * self.load_scale
+        while True:
+            gap = rand.expovariate(rate)
+            if self.sim.now + gap > end:
+                return
+            yield self.sim.timeout(gap)
+            objects = self.gateway.objects()
+            obj = objects[rand.randrange(len(objects))]
+            size = self._draw_size(spec, rand.random())
+            blocks = max(1, obj.region_bytes // size)
+            offset = rand.randrange(blocks) * size
+            if offset + size > obj.region_bytes:
+                offset = max(0, obj.region_bytes - size)
+            is_read = rand.random() < spec.read_fraction
+            self._submit(spec, obj.space_id, offset, size, is_read)
+
+    def _replay_loop(
+        self, spec: TenantSpec, arrivals: Sequence[TraceArrival]
+    ) -> Generator[Event, None, None]:
+        for arrival in arrivals:
+            if arrival.time > self.sim.now:
+                yield self.sim.timeout(arrival.time - self.sim.now)
+            objects = self.gateway.objects()
+            obj = objects[arrival.object_index % len(objects)]
+            size = min(arrival.size, obj.region_bytes)
+            self._submit(spec, obj.space_id, 0, size, arrival.is_read)
+
+    def _submit(
+        self, spec: TenantSpec, space_id: str, offset: int, size: int, is_read: bool
+    ) -> None:
+        traffic = self.stats[spec.name]
+        try:
+            self.gateway.submit(
+                tenant=spec.name,
+                space_id=space_id,
+                offset=offset,
+                size=size,
+                is_read=is_read,
+            )
+        except AdmissionError:
+            traffic.rejected += 1
+        else:
+            traffic.submitted += 1
+
+    @staticmethod
+    def _draw_size(spec: TenantSpec, u: float) -> int:
+        """Map a uniform draw onto the tenant's discrete size mix."""
+        total = sum(share for _, share in spec.object_sizes)
+        threshold = u * total
+        cumulative = 0.0
+        for size, share in spec.object_sizes:
+            cumulative += share
+            if threshold <= cumulative:
+                return size
+        return spec.object_sizes[-1][0]

@@ -44,6 +44,33 @@ def test_benchmark_appends_to_existing_history(tmp_path):
     assert len(history) == 2
 
 
+def test_benchmark_smoke_records_gateway(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path),
+         "--smoke", "gateway"],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    history = json.loads((tmp_path / "BENCH_gateway.json").read_text())
+    assert isinstance(history, list) and len(history) == 1
+    record = history[0]
+    assert record["schema_version"] == 1
+    assert record["experiment"] == "gateway"
+    assert record["smoke"] is True
+    assert record["wall_seconds"] > 0
+    # One load point, both schedulers.
+    sweep = record["sweep"]
+    assert [point["scheduler"] for point in sweep] == ["batch", "fifo"]
+    for point in sweep:
+        assert point["completed"] > 0
+        assert point["spin_ups"] > 0
+        assert point["latency_p99"] > 0
+        assert point["energy_joules"] > 0
+    assert record["counters"]["gateway.completed"] > 0
+    assert record["counters"]["gateway.batches"] > 0
+
+
 def test_benchmark_rejects_unknown_experiment(tmp_path):
     completed = subprocess.run(
         [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path), "nope"],

@@ -1,0 +1,551 @@
+"""Tests for repro.gateway: queues, scheduling, admission, dispatch.
+
+Unit tests cover the weighted-fair queue, the power accountant and the
+two scheduler strategies in isolation; integration tests drive a real
+Gateway over a full 16-disk deployment through the ClientLib mount
+path, and the determinism test replays the registered ``gateway_slo``
+experiment point twice.
+"""
+
+import pytest
+
+from repro.cluster.deployment import DeploymentConfig, build_deployment
+from repro.disk.device import SimulatedDisk
+from repro.disk.states import DiskPowerState
+from repro.experiments import gateway_slo
+from repro.gateway import (
+    AdmissionError,
+    ColdReadBatchScheduler,
+    FifoScheduler,
+    Gateway,
+    GatewayConfig,
+    GatewayError,
+    GatewayRequest,
+    OpenLoopTrafficGenerator,
+    PendingDisk,
+    PowerAccountant,
+    QueueFullError,
+    RequestState,
+    TenantSpec,
+    TraceArrival,
+    UnknownTenantError,
+    WeightedFairQueue,
+    make_scheduler,
+    mount_gateway_spaces,
+)
+from repro.obs import MetricsRegistry, export_json
+from repro.sim import EventDigest, Simulator
+from repro.workload import MB
+
+
+def request(
+    rid,
+    tenant,
+    disk="disk0",
+    size=1 * MB,
+    arrival=0.0,
+    deadline=60.0,
+):
+    return GatewayRequest(
+        request_id=rid,
+        tenant=tenant,
+        space_id=f"/unit0/{disk}/space0",
+        disk_id=disk,
+        offset=0,
+        size=size,
+        is_read=True,
+        arrival=arrival,
+        deadline=deadline,
+    )
+
+
+class TestWeightedFairQueue:
+    def specs(self):
+        return {
+            "heavy": TenantSpec(name="heavy", weight=2.0, max_queue_depth=16),
+            "light": TenantSpec(name="light", weight=1.0, max_queue_depth=16),
+        }
+
+    def test_drains_in_proportion_to_weight(self):
+        queue = WeightedFairQueue(self.specs())
+        rid = 0
+        for _ in range(4):
+            queue.push(request(rid, "heavy"))
+            rid += 1
+            queue.push(request(rid, "light"))
+            rid += 1
+        taken = queue.take_for_disk("disk0", 6)
+        by_tenant = [r.tenant for r in taken]
+        assert by_tenant.count("heavy") == 4
+        assert by_tenant.count("light") == 2
+
+    def test_queue_full_is_typed_and_bounded(self):
+        specs = {"t": TenantSpec(name="t", max_queue_depth=2)}
+        queue = WeightedFairQueue(specs)
+        queue.push(request(0, "t"))
+        queue.push(request(1, "t"))
+        with pytest.raises(QueueFullError) as info:
+            queue.push(request(2, "t"))
+        assert isinstance(info.value, AdmissionError)
+        assert info.value.tenant == "t"
+        assert info.value.depth == 2 and info.value.limit == 2
+        assert queue.depth("t") == 2  # the reject did not enqueue
+
+    def test_unknown_tenant_is_typed(self):
+        queue = WeightedFairQueue(self.specs())
+        with pytest.raises(UnknownTenantError):
+            queue.push(request(0, "nobody"))
+
+    def test_take_for_disk_only_touches_that_disk(self):
+        queue = WeightedFairQueue(self.specs())
+        queue.push(request(0, "heavy", disk="disk0"))
+        queue.push(request(1, "heavy", disk="disk1"))
+        taken = queue.take_for_disk("disk0", 10)
+        assert [r.request_id for r in taken] == [0]
+        assert queue.total_depth() == 1
+
+    def test_take_oldest_is_global_fifo(self):
+        queue = WeightedFairQueue(self.specs())
+        queue.push(request(0, "light", arrival=2.0))
+        queue.push(request(1, "heavy", arrival=1.0))
+        queue.push(request(2, "heavy", arrival=3.0))
+        order = [queue.take_oldest().request_id for _ in range(3)]
+        assert order == [1, 0, 2]
+        assert queue.take_oldest() is None
+
+    def test_pending_by_disk_summarizes(self):
+        queue = WeightedFairQueue(self.specs())
+        queue.push(request(0, "heavy", disk="disk1", arrival=5.0, deadline=50.0))
+        queue.push(request(1, "light", disk="disk0", arrival=1.0, deadline=90.0))
+        queue.push(request(2, "heavy", disk="disk1", arrival=3.0, deadline=40.0))
+        pending = queue.pending_by_disk()
+        assert [p.disk_id for p in pending] == ["disk0", "disk1"]
+        disk1 = pending[1]
+        assert disk1.count == 2
+        assert disk1.earliest_arrival == 3.0
+        assert disk1.earliest_deadline == 40.0
+        assert disk1.oldest_request_id == 0
+
+    def test_idle_tenant_does_not_bank_credit(self):
+        """After the queue drains, a newly arriving tenant starts at the
+        advanced virtual time, not at zero."""
+        queue = WeightedFairQueue(self.specs())
+        for rid in range(4):
+            queue.push(request(rid, "heavy"))
+        dispatched = queue.take_for_disk("disk0", 4)
+        high_water = max(r.fair_tag for r in dispatched)
+        late = request(10, "light")
+        queue.push(late)
+        assert late.fair_tag >= high_water
+
+
+class TestPowerAccountant:
+    def build(self, n=3, budget=20.0, watts=10.0):
+        sim = Simulator()
+        disks = {f"d{i}": SimulatedDisk(sim, f"d{i}") for i in range(n)}
+        for disk in disks.values():
+            disk.spin_down()
+        return sim, disks, PowerAccountant(disks, budget, watts)
+
+    def test_grants_reserve_watts(self):
+        _, _, power = self.build()
+        assert power.in_use_watts() == 0.0
+        assert power.can_afford("d0")
+        power.grant("d0")
+        assert power.granted("d0")
+        assert power.in_use_watts() == 10.0
+        power.grant("d1")
+        assert power.in_use_watts() == 20.0
+        assert not power.can_afford("d2")  # 30 W > 20 W budget
+
+    def test_spinning_disk_costs_nothing_extra(self):
+        sim, disks, power = self.build()
+        sim.run_until_event(disks["d0"].spin_up())
+        assert power.drawing("d0")
+        assert power.cost_of("d0") == 0.0
+        assert power.in_use_watts() == 10.0
+
+    def test_grant_retired_once_disk_draws(self):
+        sim, disks, power = self.build()
+        power.grant("d0")
+        sim.run_until_event(disks["d0"].spin_up())
+        # The observed draw replaces the reservation: still one disk.
+        assert power.in_use_watts() == 10.0
+        assert not power.granted("d0")
+
+    def test_release_frees_the_reservation(self):
+        _, _, power = self.build()
+        power.grant("d0")
+        power.release("d0")
+        assert power.in_use_watts() == 0.0
+
+    def test_rejects_nonpositive_budget(self):
+        sim = Simulator()
+        disks = {"d0": SimulatedDisk(sim, "d0")}
+        with pytest.raises(ValueError):
+            PowerAccountant(disks, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            PowerAccountant(disks, 10.0, -1.0)
+
+
+class TestSchedulers:
+    def entry(self, disk_id, deadline=60.0, arrival=0.0, oldest=0, count=4):
+        return PendingDisk(
+            disk_id=disk_id,
+            count=count,
+            earliest_arrival=arrival,
+            earliest_deadline=deadline,
+            oldest_request_id=oldest,
+            min_fair_tag=0.0,
+        )
+
+    def test_batch_spreads_across_failure_units_first(self):
+        hosts = {"d0": "hostA", "d1": "hostA", "d2": "hostB"}
+        scheduler = ColdReadBatchScheduler()
+        ordered = scheduler.order(
+            [self.entry("d0"), self.entry("d1"), self.entry("d2")],
+            busy_hosts=["hostA"],
+            host_of=hosts.get,
+        )
+        assert ordered[0].disk_id == "d2"  # only idle failure unit
+
+    def test_batch_is_earliest_deadline_first(self):
+        scheduler = ColdReadBatchScheduler()
+        ordered = scheduler.order(
+            [self.entry("d0", deadline=90.0), self.entry("d1", deadline=30.0)],
+            busy_hosts=[],
+            host_of=lambda disk_id: None,
+        )
+        assert [e.disk_id for e in ordered] == ["d1", "d0"]
+
+    def test_batch_limit_caps_at_max_batch(self):
+        scheduler = ColdReadBatchScheduler(max_batch=8)
+        assert scheduler.batch_limit(self.entry("d0", count=3)) == 3
+        assert scheduler.batch_limit(self.entry("d0", count=50)) == 8
+        assert not scheduler.head_of_line
+
+    def test_fifo_is_arrival_ordered_singletons(self):
+        scheduler = FifoScheduler()
+        ordered = scheduler.order(
+            [self.entry("d0", oldest=7), self.entry("d1", oldest=2)],
+            busy_hosts=["hostA"],
+            host_of=lambda disk_id: "hostA",
+        )
+        assert [e.disk_id for e in ordered] == ["d1", "d0"]
+        assert scheduler.batch_limit(self.entry("d0", count=50)) == 1
+        assert scheduler.head_of_line
+
+    def test_make_scheduler(self):
+        assert make_scheduler("batch", max_batch=4).max_batch == 4
+        assert make_scheduler("fifo").name == "fifo"
+        with pytest.raises(ValueError):
+            make_scheduler("lifo")
+        with pytest.raises(ValueError):
+            ColdReadBatchScheduler(max_batch=0)
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="")
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", read_fraction=1.5)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", max_queue_depth=0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", object_sizes=())
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", object_sizes=((0, 1.0),))
+
+    def test_arrival_rate_is_users_times_rate(self):
+        spec = TenantSpec(name="t", users=2_000_000, rate_per_user=1e-6)
+        assert spec.arrival_rate == pytest.approx(2.0)
+
+    def test_size_mix_mapping(self):
+        spec = TenantSpec(name="t", object_sizes=((100, 1.0), (200, 3.0)))
+        draw = OpenLoopTrafficGenerator._draw_size
+        assert draw(spec, 0.0) == 100
+        assert draw(spec, 0.2) == 100
+        assert draw(spec, 0.5) == 200
+        assert draw(spec, 1.0) == 200
+
+
+# -- integration over a real deployment ---------------------------------
+
+TENANT = TenantSpec(name="t0", weight=1.0, slo_seconds=120.0, max_queue_depth=64)
+
+
+def build_gateway(scheduler="batch", tenants=(TENANT,), seed=7, **config_kwargs):
+    """A settled 16-disk deployment fronted by a gateway, disks cold."""
+    dep = build_deployment(config=DeploymentConfig(seed=seed))
+    dep.settle(15.0)
+    objects, spaces = mount_gateway_spaces(dep, 64 * MB)
+    for disk_id in sorted(dep.disks):
+        dep.disks[disk_id].spin_down()
+    gateway = Gateway(
+        dep.sim,
+        tenants,
+        GatewayConfig(scheduler=scheduler, **config_kwargs),
+    )
+    gateway.attach(objects, spaces, dep.disks, host_of=dep.host_of_disk)
+    gateway.start()
+    return dep, gateway, objects
+
+
+def drain(dep, gateway, cap=300.0):
+    deadline = dep.sim.now + cap
+    # Always step once so same-timestep call_in submissions land first.
+    dep.sim.run(until=dep.sim.now + 1.0)
+    while not gateway.drained() and dep.sim.now < deadline:
+        dep.sim.run(until=dep.sim.now + 5.0)
+    assert gateway.drained(), "gateway failed to drain its queues"
+
+
+class TestGatewayDispatch:
+    def test_burst_to_one_disk_costs_one_spin_up(self):
+        """The §IV-F bet: a batch amortizes a single spin-up."""
+        dep, gateway, objects = build_gateway("batch")
+        target = objects[0]
+        requests = []
+
+        def burst():
+            for i in range(6):
+                requests.append(
+                    gateway.submit("t0", target.space_id, i * MB, 1 * MB)
+                )
+
+        dep.sim.call_in(0.0, burst)
+        drain(dep, gateway)
+        assert gateway.stats.admitted == 6
+        assert gateway.stats.completed == 6
+        assert gateway.stats.batches == 1
+        assert gateway.spin_ups() == 1
+        assert all(r.state is RequestState.COMPLETED for r in requests)
+        assert all(r.attempts == 1 for r in requests)
+        assert all(r.latency is not None and r.latency > 8.0 for r in requests)
+
+    def test_admission_bound_rejects_overflow(self):
+        tenant = TenantSpec(name="t0", slo_seconds=120.0, max_queue_depth=4)
+        dep, gateway, objects = build_gateway("batch", tenants=(tenant,))
+        target = objects[0]
+        rejects = []
+
+        def burst():
+            for i in range(6):
+                try:
+                    gateway.submit("t0", target.space_id, 0, 1 * MB)
+                except QueueFullError as exc:
+                    rejects.append(exc)
+
+        dep.sim.call_in(0.0, burst)
+        drain(dep, gateway)
+        assert len(rejects) == 2
+        assert gateway.stats.rejected == 2
+        assert gateway.stats.admitted == 4
+        assert gateway.stats.completed == 4
+        assert gateway.stats.per_tenant["t0"].rejected == 2
+
+    def test_unknown_space_is_a_gateway_error(self):
+        dep, gateway, _ = build_gateway("batch")
+        with pytest.raises(GatewayError):
+            gateway.submit("t0", "/unit9/disk99/space0", 0, 1 * MB)
+
+    def test_deadline_stamped_from_tenant_slo(self):
+        tenant = TenantSpec(name="t0", slo_seconds=1.0, max_queue_depth=64)
+        dep, gateway, objects = build_gateway("batch", tenants=(tenant,))
+        target = objects[0]
+        holder = []
+        dep.sim.call_in(
+            0.0,
+            lambda: holder.append(
+                gateway.submit("t0", target.space_id, 0, 1 * MB)
+            ),
+        )
+        drain(dep, gateway)
+        req = holder[0]
+        assert req.deadline == pytest.approx(req.arrival + 1.0)
+        # A cold read pays the 8s spin-up, so a 1s SLO must be missed.
+        assert req.missed_slo()
+        assert gateway.stats.slo_misses == 1
+
+    def test_power_budget_bounds_concurrent_spinning(self):
+        """With a one-disk budget, at most one disk may draw power at
+        any sampled instant, yet all four disks' work completes."""
+        dep, gateway, objects = build_gateway(
+            "batch", power_budget_watts=8.0, watts_per_disk=8.0
+        )
+        targets = objects[:4]
+
+        def burst():
+            for target in targets:
+                gateway.submit("t0", target.space_id, 0, 1 * MB)
+
+        dep.sim.call_in(0.0, burst)
+        samples = []
+        drawing_states = (
+            DiskPowerState.SPINNING_UP,
+            DiskPowerState.IDLE,
+            DiskPowerState.ACTIVE,
+        )
+
+        def sampler():
+            while True:
+                spinning = sum(
+                    1
+                    for disk_id in sorted(dep.disks)
+                    if dep.disks[disk_id].power_state in drawing_states
+                )
+                samples.append(spinning)
+                yield dep.sim.timeout(0.5)
+
+        dep.sim.process(sampler())
+        drain(dep, gateway)
+        assert gateway.stats.completed == 4
+        assert max(samples) <= 1
+        # Serialized across four cold disks: four separate spin-ups,
+        # freed in between by the dispatcher's reclaim step.
+        assert gateway.spin_ups() == 4
+        assert gateway.stats.reclaim_spin_downs >= 1
+
+    def test_metrics_flow_through_registry(self):
+        registry = MetricsRegistry()
+        dep = build_deployment(
+            config=DeploymentConfig(seed=7), metrics=registry
+        )
+        dep.settle(15.0)
+        objects, spaces = mount_gateway_spaces(dep, 64 * MB)
+        for disk_id in sorted(dep.disks):
+            dep.disks[disk_id].spin_down()
+        gateway = Gateway(dep.sim, (TENANT,), GatewayConfig())
+        gateway.attach(objects, spaces, dep.disks, host_of=dep.host_of_disk)
+        gateway.start()
+        target = objects[0]
+        dep.sim.call_in(
+            0.0, lambda: gateway.submit("t0", target.space_id, 0, 1 * MB)
+        )
+        drain(dep, gateway)
+        counters = registry.counters()
+        assert counters["gateway.submitted"].value == 1
+        assert counters["gateway.completed"].value == 1
+        assert counters["gateway.batches"].value == 1
+        histograms = registry.histograms()
+        assert histograms["gateway.latency_seconds"].count == 1
+        assert histograms["gateway.latency_seconds.t0"].count == 1
+        assert histograms["gateway.batch_size"].count == 1
+
+    def test_lifecycle_guards(self):
+        dep = build_deployment(config=DeploymentConfig(seed=7))
+        dep.settle(15.0)
+        gateway = Gateway(dep.sim, (TENANT,), GatewayConfig())
+        with pytest.raises(GatewayError):
+            gateway.start()  # attach() must come first
+        with pytest.raises(ValueError):
+            Gateway(dep.sim, (), GatewayConfig())
+        with pytest.raises(ValueError):
+            Gateway(dep.sim, (TENANT, TENANT), GatewayConfig())
+
+
+class TestTrafficGenerator:
+    def test_trace_replay_preserves_times_and_sizes(self):
+        dep, gateway, objects = build_gateway("batch")
+        generator = OpenLoopTrafficGenerator(dep.sim, gateway, dep.rng)
+        seen = []
+        submit = gateway.submit
+
+        def spy(*args, **kwargs):
+            req = submit(*args, **kwargs)
+            seen.append(req)
+            return req
+
+        gateway.submit = spy
+        start = dep.sim.now
+        generator.replay(
+            "t0",
+            [
+                TraceArrival(time=start + 2.5, object_index=1, size=2 * MB),
+                TraceArrival(time=start + 1.0, object_index=0, size=1 * MB),
+            ],
+        )
+        drain(dep, gateway)
+        assert generator.stats["t0"].submitted == 2
+        assert [r.arrival for r in seen] == [start + 1.0, start + 2.5]
+        assert [r.size for r in seen] == [1 * MB, 2 * MB]
+        assert gateway.stats.completed == 2
+
+    def test_open_loop_rate_scales_with_users(self):
+        """Doubling the logical user count doubles offered load without
+        adding simulation processes (one arrival loop per tenant)."""
+
+        def offered(users):
+            tenant = TenantSpec(
+                name="t0",
+                users=users,
+                rate_per_user=0.01,
+                slo_seconds=300.0,
+                max_queue_depth=10_000,
+            )
+            dep, gateway, _ = build_gateway("batch", tenants=(tenant,), seed=9)
+            generator = OpenLoopTrafficGenerator(dep.sim, gateway, dep.rng)
+            processes = generator.start(60.0)
+            assert len(processes) == 1
+            dep.sim.run(until=dep.sim.now + 60.0)
+            return generator.stats["t0"].submitted
+
+        low, high = offered(100), offered(200)  # 1 req/s vs 2 req/s
+        assert 30 < low < 90
+        assert 90 < high < 180
+        assert 1.5 < high / low < 3.0
+
+    def test_rejections_counted_not_raised(self):
+        """The open-loop generator sheds rejected arrivals and keeps
+        offering (no backpressure into the arrival process)."""
+        tenant = TenantSpec(
+            name="t0",
+            users=100,
+            rate_per_user=0.05,  # 5 req/s against cold disks
+            slo_seconds=300.0,
+            max_queue_depth=8,
+        )
+        dep, gateway, _ = build_gateway("batch", tenants=(tenant,), seed=9)
+        generator = OpenLoopTrafficGenerator(dep.sim, gateway, dep.rng)
+        generator.start(30.0)
+        dep.sim.run(until=dep.sim.now + 30.0)
+        stats = generator.stats["t0"]
+        assert stats.submitted == gateway.stats.admitted
+        assert stats.rejected == gateway.stats.rejected
+        assert stats.submitted + stats.rejected > 100
+
+
+class TestGatewaySloExperiment:
+    def test_run_point_is_deterministic(self):
+        """Same seed, same scheduler: identical replay digest, identical
+        metric-dump bytes, identical summary."""
+
+        def once():
+            digest = EventDigest()
+            registry = MetricsRegistry()
+            summary = gateway_slo.run_point(
+                "batch",
+                seed=5,
+                duration=30.0,
+                detect_races=True,
+                event_digest=digest,
+                metrics=registry,
+            )
+            races = summary.pop("races")
+            return digest.hexdigest(), export_json(registry), summary, races
+
+        first = once()
+        second = once()
+        assert first[0] == second[0]
+        assert first[1] == second[1]
+        assert first[2] == second[2]
+        assert first[3] == [] and second[3] == []
+
+    def test_experiment_contract(self):
+        experiment = gateway_slo.EXPERIMENT
+        assert experiment.name == "gateway_slo"
+        assert "seed" in experiment.params
+        assert experiment.paper_ref
