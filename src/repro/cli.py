@@ -13,6 +13,8 @@ Usage::
     python -m repro bench alloc_scale    # wall-clock benchmark suite
     python -m repro run gateway_slo      # request tier: batch vs FIFO
     python -m repro bench gateway        # gateway offered-load sweep
+    python -m repro trace                # traced run + latency attribution
+    python -m repro trace --format chrome --out trace.json  # Perfetto file
 
 ``run``, ``validate``, ``check-determinism`` and ``bench`` share the
 same ``--json`` / ``--seed`` flags: ``--json`` switches the command's
@@ -150,10 +152,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 def _cmd_check_determinism(args: argparse.Namespace) -> int:
     """Run the replay-sensitive experiments twice with the race detector
     and the metrics registry armed; compare execution-order digests and
-    the exported metric dumps byte for byte."""
+    the exported metric dumps byte for byte.  The gateway_slo leg also
+    runs with request tracing armed and compares the canonical trace
+    JSONL export byte for byte."""
     from repro.experiments import figure5, gateway_slo, reliability
-    from repro.obs import MetricsRegistry, export_json
+    from repro.obs import (
+        MetricsRegistry,
+        RequestTracer,
+        export_json,
+        export_trace_jsonl,
+    )
     from repro.sim import EventDigest
+
+    trace_dumps: List[str] = []
 
     def run_figure5(**kwargs):
         if args.seed is not None:
@@ -163,7 +174,15 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
     def run_gateway_slo(**kwargs):
         if args.seed is not None:
             kwargs["seed"] = args.seed
-        return gateway_slo.run(**kwargs)
+        races: List = []
+        chunks: List[str] = []
+        for scheduler in ("batch", "fifo"):
+            tracer = RequestTracer()
+            summary = gateway_slo.run_point(scheduler, tracer=tracer, **kwargs)
+            races.extend(summary.pop("races", []))
+            chunks.append(export_trace_jsonl(tracer.completed))
+        trace_dumps.append("\n".join(chunks))
+        return {"races": races}
 
     checks = {
         "figure5": run_figure5,
@@ -193,21 +212,108 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
             "metrics_identical": metrics_identical,
             "races": len(races),
         }
+        trace_identical = True
+        if name == "gateway_slo" and len(trace_dumps) == 2:
+            trace_identical = trace_dumps[0] == trace_dumps[1]
+            report[name]["trace_identical"] = trace_identical
         if not args.as_json:
             print(f"{name}:")
             print(f"  replay digest: {digests[0][:16]}…  "
                   f"{'identical across runs' if identical else 'MISMATCH: ' + digests[1][:16]}")
             print(f"  metric dump: "
                   f"{'byte-identical across runs' if metrics_identical else 'MISMATCH'}")
+            if "trace_identical" in report[name]:
+                print(f"  trace export: "
+                      f"{'byte-identical across runs' if trace_identical else 'MISMATCH'}")
             print(f"  same-timestamp races: {len(races)}")
             for race in races:
                 print(f"    {race.render()}")
-        if not identical or not metrics_identical or races:
+        if not identical or not metrics_identical or not trace_identical or races:
             failures += 1
     if args.as_json:
         print(json.dumps({"checks": report, "ok": failures == 0},
                          indent=2, sort_keys=True))
     return 0 if failures == 0 else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced gateway_slo point and export/summarize the traces."""
+    from repro.experiments import gateway_slo
+    from repro.obs import (
+        CriticalPathAnalyzer,
+        RequestTracer,
+        export_chrome_trace,
+        export_trace_jsonl,
+    )
+
+    tracer = RequestTracer()
+    summary = gateway_slo.run_point(
+        args.scheduler,
+        seed=args.seed if args.seed is not None else 11,
+        duration=args.duration,
+        tracer=tracer,
+    )
+    requests = [ctx for ctx in tracer.completed if ctx.kind == "request"]
+    aggregate = CriticalPathAnalyzer().aggregate(requests)
+    if args.format == "jsonl":
+        output = export_trace_jsonl(tracer.completed)
+    elif args.format == "chrome":
+        output = export_chrome_trace(tracer.completed, tracer.instants)
+    elif args.as_json:
+        output = json.dumps(
+            {
+                "params": {
+                    "scheduler": args.scheduler,
+                    "seed": args.seed if args.seed is not None else 11,
+                    "duration": args.duration,
+                },
+                "completed": summary["completed"],
+                "traces": len(tracer.completed),
+                "attribution": aggregate,
+                "slo": summary["trace"]["slo"],
+                "flight_dumps": summary["trace"]["flight_dumps"],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    else:
+        lines = [
+            f"Traced gateway run: scheduler={args.scheduler} "
+            f"duration={args.duration}s",
+            f"  requests completed: {summary['completed']}  "
+            f"traces: {len(tracer.completed)}  "
+            f"instants: {len(tracer.instants)}",
+            f"  attribution identity failures: "
+            f"{aggregate['identity_failures']}",
+            "",
+            "Latency attribution (share of traced request time):",
+        ]
+        shares = aggregate["shares"]
+        for component in sorted(shares, key=lambda c: -shares[c]):
+            if shares[component] <= 0.0:
+                continue
+            lines.append(f"  {component:<18} {shares[component]:7.2%}")
+        slo = summary["trace"]["slo"]
+        lines.append("")
+        lines.append("SLO burn rates:")
+        for tenant in sorted(slo["tenants"]):
+            state = slo["tenants"][tenant]
+            lines.append(
+                f"  {tenant:<12} objective={state['objective']:.0%} "
+                f"burn={state['burn_rate']:.2f} "
+                f"{'FIRING' if state['firing'] else 'ok'} "
+                f"alerts={state['alerts']}"
+            )
+        output = "\n".join(lines)
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(output + "\n")
+        if not args.as_json:
+            print(f"wrote {args.format} export to {args.out}")
+    else:
+        print(output)
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -298,6 +404,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common_flags(check_parser)
     check_parser.set_defaults(fn=_cmd_check_determinism)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one traced gateway point; print attribution or export traces",
+    )
+    trace_parser.add_argument(
+        "--scheduler",
+        choices=("batch", "fifo"),
+        default="batch",
+        help="gateway scheduler for the traced run",
+    )
+    trace_parser.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="seconds of offered open-loop traffic",
+    )
+    trace_parser.add_argument(
+        "--format",
+        choices=("summary", "jsonl", "chrome"),
+        default="summary",
+        help="summary report, canonical JSONL, or Chrome trace_event JSON",
+    )
+    trace_parser.add_argument(
+        "--out",
+        default=None,
+        help="write the output to this file instead of stdout",
+    )
+    _add_common_flags(trace_parser)
+    trace_parser.set_defaults(fn=_cmd_trace)
 
     bench_parser = sub.add_parser(
         "bench",

@@ -17,6 +17,7 @@ from repro.coord.client import CoordSession
 from repro.net.iscsi import IscsiInitiator, IscsiSession, SessionError
 from repro.net.network import Network
 from repro.net.rpc import RemoteError, RpcTimeout
+from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.sim import Event, Simulator
 
 __all__ = ["ClientLib", "MountedSpace", "StorageUnavailableError"]
@@ -51,33 +52,58 @@ class MountedSpace:
     def current_host(self) -> str:
         return self.session.host_address
 
-    def read(self, offset: int, size: int) -> Generator[Event, None, dict]:
-        return self._io(offset, size, is_read=True)
+    def read(
+        self, offset: int, size: int, trace: TraceContext = NULL_TRACE
+    ) -> Generator[Event, None, dict]:
+        return self._io(offset, size, is_read=True, trace=trace)
 
-    def write(self, offset: int, size: int) -> Generator[Event, None, dict]:
-        return self._io(offset, size, is_read=False)
+    def write(
+        self, offset: int, size: int, trace: TraceContext = NULL_TRACE
+    ) -> Generator[Event, None, dict]:
+        return self._io(offset, size, is_read=False, trace=trace)
 
-    def _io(self, offset: int, size: int, is_read: bool) -> Generator[Event, None, dict]:
+    def _io(
+        self,
+        offset: int,
+        size: int,
+        is_read: bool,
+        trace: TraceContext = NULL_TRACE,
+    ) -> Generator[Event, None, dict]:
         attempts = 0
         while True:
+            # Fresh epoch-stamped scope per attempt: if this attempt is
+            # abandoned (timeout -> remount), invalidate_scopes makes
+            # any stale server-side holder of it inert.
+            scope = trace.scope()
             try:
                 if is_read:
-                    result = yield from self.session.read(offset, size)
+                    result = yield from self.session.read(offset, size, scope)
                     self.stats.reads += 1
                     self.stats.bytes_read += size
                 else:
-                    result = yield from self.session.write(offset, size)
+                    result = yield from self.session.write(offset, size, scope)
                     self.stats.writes += 1
                     self.stats.bytes_written += size
                 return result
-            except SessionError:
+            except SessionError as exc:
+                trace.invalidate_scopes()
+                if trace.enabled:
+                    trace.event(
+                        "iscsi.session_error",
+                        host=self.session.host_address,
+                        attempt=attempts + 1,
+                        error=str(exc),
+                    )
                 self.stats.errors_seen += 1
                 attempts += 1
                 if attempts > self.client.max_remount_attempts:
+                    trace.phase("failover")
                     raise StorageUnavailableError(self.space_id)
-                yield from self._remount()
+                yield from self._remount(trace)
 
-    def _remount(self) -> Generator[Event, None, None]:
+    def _remount(
+        self, trace: TraceContext = NULL_TRACE
+    ) -> Generator[Event, None, None]:
         """§IV-D: fetch the new host from the Master and remount."""
         self.client._notify(self.space_id, "remounting")
         deadline = self.client.sim.now + self.client.remount_deadline
@@ -90,10 +116,17 @@ class MountedSpace:
                 self.session = session
                 self.stats.remounts += 1
                 self.client._notify(self.space_id, "remounted")
+                if trace.enabled:
+                    trace.event("clientlib.remounted", host=session.host_address)
+                # Everything since the doomed attempt's last boundary —
+                # the dead time plus the remount conversation — is
+                # failover cost.
+                trace.phase("failover")
                 return
             except (SessionError, RpcTimeout, RemoteError):
                 yield self.client.sim.timeout(self.client.remount_retry_interval)
         self.client._notify(self.space_id, "unavailable")
+        trace.phase("failover")
         raise StorageUnavailableError(self.space_id)
 
 

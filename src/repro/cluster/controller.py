@@ -139,11 +139,25 @@ class Controller:
                     self.commands_failed += 1
                     self._m_rollbacks.inc()
                     self._m_failed.inc()
+                    if self.sim.tracer.enabled:
+                        self.sim.tracer.instant(
+                            "controller.rollback",
+                            controller=self.address,
+                            pairs=len(pairs),
+                            turns=len(plan.turns),
+                        )
                     raise CommandFailed(
                         f"verification timed out after {self.config.verify_timeout}s; "
                         f"rolled back {len(previous)} switch(es)"
                     )
                 self.commands_executed += 1
+                if self.sim.tracer.enabled:
+                    self.sim.tracer.instant(
+                        "controller.execute",
+                        controller=self.address,
+                        pairs=len(pairs),
+                        turns=len(plan.turns),
+                    )
                 return {
                     "turned": [(s.switch_id, s.state) for s in plan.turns],
                     "already_satisfied": list(plan.already_satisfied),

@@ -25,7 +25,7 @@ from repro.fabric.topology import Fabric
 from repro.hardware.microcontroller import ControlPlane
 from repro.hardware.relays import RelayBank
 from repro.net.network import Network
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, RequestTracer
 from repro.sim import RngRegistry, Simulator
 from repro.usbsim.bus import UsbBus
 from repro.usbsim.params import UsbQuirks, UsbTimingParams
@@ -118,6 +118,7 @@ def build_deployment(
     fabric: Optional[Fabric] = None,
     config: DeploymentConfig = DeploymentConfig(),
     metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[RequestTracer] = None,
 ) -> Deployment:
     """Assemble a full UStore system around ``fabric`` (default: the
     16-disk, 4-host prototype of §V-B).
@@ -125,9 +126,12 @@ def build_deployment(
     Passing a :class:`~repro.obs.MetricsRegistry` arms the obs layer on
     every component; the same registry may be reused across sequential
     deployments to aggregate a whole experiment (the clock rebinds to
-    each new simulator).
+    each new simulator).  Passing a
+    :class:`~repro.obs.RequestTracer` likewise arms causal request
+    tracing on every instrumented component (clock rebinds the same
+    way).
     """
-    sim = Simulator(detect_races=config.detect_races, metrics=metrics)
+    sim = Simulator(detect_races=config.detect_races, metrics=metrics, tracer=tracer)
     rng = RngRegistry(config.seed)
     network = Network(sim, rng=rng)
     fabric = fabric or prototype_fabric()

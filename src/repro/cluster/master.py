@@ -30,6 +30,7 @@ from repro.cluster.namespace import (
 from repro.coord.client import CoordSession
 from repro.net.network import Network
 from repro.net.rpc import RemoteError, RpcClient, RpcServer, RpcTimeout
+from repro.obs.trace import NULL_TRACE
 from repro.sim import Event, Simulator
 
 __all__ = ["AllocationError", "Master", "MasterConfig"]
@@ -468,6 +469,17 @@ class Master:
         }
         started = self.sim.now
         moved: Dict[str, str] = {}
+        tracer = self.sim.tracer
+        ctx = (
+            tracer.start(
+                "master.failover",
+                kind="system",
+                host=dead_host,
+                orphans=len(orphans),
+            )
+            if tracer.enabled
+            else NULL_TRACE
+        )
         with self.sim.metrics.span("master.failover"):
             for controller in controllers:
                 try:
@@ -475,14 +487,23 @@ class Master:
                         controller, orphans, dict(load)
                     )
                     if moved:
+                        ctx.event("failover.controller_ok", controller=controller)
                         break
                 except (RpcTimeout, RemoteError):
-                    continue  # primary controller unreachable: try the backup
+                    # Primary controller unreachable: try the backup.
+                    ctx.event("failover.controller_unreachable", controller=controller)
+                    continue
+            ctx.phase("failover")
             yield from self._re_expose(moved)
+            ctx.phase("network")
         if moved:
             self.failovers_completed += 1
             self._m_failovers.inc()
             self._m_failover_seconds.observe(self.sim.now - started)
+            ctx.annotate(moved=len(moved))
+            ctx.finish("ok")
+        else:
+            ctx.finish("failed")
 
     def _fail_over_via(
         self, controller: str, orphans: List[str], load: Dict[str, int]

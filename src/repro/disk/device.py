@@ -22,6 +22,7 @@ from repro.disk.specs import (
 )
 from repro.disk.states import DiskPowerState, DiskStateError, SpinStateMachine
 from repro.obs import DEFAULT_DEPTH_BUCKETS
+from repro.obs.trace import NULL_SCOPE, TraceScope
 from repro.sim import Event, Resource, Simulator
 from repro.workload.specs import AccessPattern, WorkloadSpec
 
@@ -191,18 +192,24 @@ class SimulatedDisk:
             read_fraction=1.0 if request.is_read else 0.0,
         )
 
-    def submit(self, request: IoRequest) -> "Event":
+    def submit(self, request: IoRequest, scope: TraceScope = NULL_SCOPE) -> "Event":
         """Submit one I/O; returns a process event with the service time."""
         # Depth seen by this request: in-service holders plus waiters.
         self._m_queue_depth.observe(self._queue.users + self._queue.queue_length)
-        return self.sim.process(self._serve(request))
+        return self.sim.process(self._serve(request, scope))
 
-    def _serve(self, request: IoRequest) -> Generator[Event, None, float]:
+    def _serve(
+        self, request: IoRequest, scope: TraceScope = NULL_SCOPE
+    ) -> Generator[Event, None, float]:
+        # Everything between the initiator's send and this point is
+        # request travel + endpoint dispatch.
+        scope.phase("network")
         if self.failed:
             raise DiskOfflineError(f"{self.disk_id}: disk failed")
         if self.states.state is DiskPowerState.POWERED_OFF:
             raise DiskOfflineError(f"{self.disk_id}: disk powered off")
         yield self._queue.request()
+        scope.phase("disk_queue")
         try:
             if self.failed:
                 raise DiskOfflineError(f"{self.disk_id}: disk failed")
@@ -212,6 +219,7 @@ class SimulatedDisk:
                 else:  # SPINNING_UP from someone else's wake-up
                     while not self.states.is_spinning:
                         yield self.sim.timeout(0.05)
+                scope.phase("spinup")
             spec = self._spec_for(request)
             was_idle = self.states.state is DiskPowerState.IDLE
             if was_idle:
@@ -221,18 +229,36 @@ class SimulatedDisk:
             # penalty whenever consecutive commands change direction, so
             # alternating read/write streams reproduce the Table II
             # 50%-mix columns.
+            turnaround = 0.0
             if self._last_is_read is not None and self._last_is_read != request.is_read:
                 profile = self.model.profile
                 if spec.is_sequential:
-                    service += (
+                    turnaround = (
                         profile.mix_fixed
                         + profile.mix_transfer_factor
                         * (request.size / self.spec.media_rate)
                     )
                 else:
-                    service += profile.rand_mix_fixed
+                    turnaround = profile.rand_mix_fixed
+                service += turnaround
             self._last_is_read = request.is_read
+            service_started = self.sim.now
             yield self.sim.timeout(service)
+            if scope.enabled:
+                # Decompose the single already-elapsed service interval
+                # retroactively (no extra sim events, so traced and
+                # untraced runs replay identically): positioning, then
+                # protocol/fabric/turnaround throttle, then the media
+                # transfer as the exact residual.
+                seek, throttle = self.model.service_components(
+                    spec, request.is_read
+                )
+                throttle += turnaround
+                scope.phase_at("seek_rotation", service_started + seek)
+                scope.phase_at(
+                    "bandwidth_throttle", service_started + seek + throttle
+                )
+                scope.phase("transfer")
             if self.failed:
                 raise DiskOfflineError(f"{self.disk_id}: disk failed mid-transfer")
             self._last_offset_end = request.offset + request.size

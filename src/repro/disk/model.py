@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
 
 from repro.disk.specs import (
     CONNECTIONS,
@@ -75,6 +76,32 @@ class DiskModel:
             chunk = profile.chunk_read if is_read else profile.chunk_write
             time += chunk * self._extra_crossings(spec.transfer_size)
         return time
+
+    def service_components(
+        self, spec: WorkloadSpec, is_read: bool
+    ) -> "Tuple[float, float]":
+        """``(seek_rotation, throttle)`` parts of one op's service time.
+
+        Mirrors :meth:`op_service_time` term by term for latency
+        attribution: ``seek_rotation`` is the mechanical positioning
+        cost (random I/O only); ``throttle`` covers protocol overhead,
+        fabric hop latency and track-crossing chunk stalls — everything
+        that is not media transfer.  Callers derive the transfer part
+        as the *residual* ``service - seek - throttle`` so the three
+        components sum to the already-scheduled service time exactly,
+        whatever floating-point grouping produced it.
+        """
+        profile = self.profile
+        throttle = profile.overhead_read if is_read else profile.overhead_write
+        throttle += profile.fabric_hop_latency * self.fabric_hops
+        seek = 0.0
+        if not spec.is_sequential:
+            seek = (
+                self.disk.positioning_read if is_read else self.disk.positioning_write
+            )
+            chunk = profile.chunk_read if is_read else profile.chunk_write
+            throttle += chunk * self._extra_crossings(spec.transfer_size)
+        return seek, throttle
 
     def mix_penalty(self, spec: WorkloadSpec) -> float:
         """Extra expected time per op due to read/write turnaround.

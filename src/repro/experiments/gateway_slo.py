@@ -29,11 +29,18 @@ from repro.gateway import (
     TenantSpec,
     mount_gateway_spaces,
 )
-from repro.obs import MetricsRegistry
+from repro.obs import (
+    CriticalPathAnalyzer,
+    FlightRecorder,
+    MetricsRegistry,
+    RequestTracer,
+    SloMonitor,
+    SloObjective,
+)
 from repro.sim import EventDigest
 from repro.workload.specs import KB, MB
 
-__all__ = ["EXPERIMENT", "TENANTS", "run", "run_point"]
+__all__ = ["EXPERIMENT", "TENANTS", "run", "run_point", "slo_objectives"]
 
 #: The two-tenant mix: many small interactive cold-readers plus a few
 #: heavy archival pipelines (open loop: rate = users x rate_per_user).
@@ -67,6 +74,14 @@ DRAIN_CAP_SECONDS = 900.0
 DRAIN_STEP_SECONDS = 5.0
 
 
+def slo_objectives() -> List[SloObjective]:
+    """Burn-rate objectives for the two gateway tenants (95% over 60 s)."""
+    return [
+        SloObjective(tenant=spec.name, objective=0.95, window_seconds=60.0)
+        for spec in TENANTS
+    ]
+
+
 def run_point(
     scheduler: str,
     seed: int = 11,
@@ -76,20 +91,33 @@ def run_point(
     detect_races: bool = False,
     event_digest: Optional[EventDigest] = None,
     metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[RequestTracer] = None,
 ) -> Dict:
     """Run one (scheduler, load) point on a fresh deployment.
 
     Builds a full 16-disk deployment, mounts one gateway space per
     disk, spins every disk down, then offers ``duration`` seconds of
     open-loop traffic and drains the queues.  Returns the gateway's
-    exact summary plus offered-traffic and race accounting.
+    exact summary plus offered-traffic and race accounting.  Passing a
+    :class:`~repro.obs.RequestTracer` arms end-to-end request tracing:
+    the summary then also carries the critical-path latency
+    attribution, the per-tenant SLO burn-rate state, and the flight
+    recorder's dump count.
     """
     deployment = build_deployment(
         config=DeploymentConfig(detect_races=detect_races, seed=seed),
         metrics=metrics,
+        tracer=tracer,
     )
     if event_digest is not None:
         event_digest.attach(deployment.sim)
+    monitor: Optional[SloMonitor] = None
+    recorder: Optional[FlightRecorder] = None
+    if tracer is not None and tracer.enabled:
+        # Recorder first: its ring must already hold the triggering
+        # trace when the monitor's alert instant fires.
+        recorder = FlightRecorder(tracer)
+        monitor = SloMonitor(tracer, slo_objectives())
     deployment.settle(SETTLE_SECONDS)
     objects, spaces = mount_gateway_spaces(deployment, SPACE_BYTES)
     for disk_id in sorted(deployment.disks):
@@ -125,6 +153,19 @@ def run_point(
     summary["drained"] = gateway.drained()
     if detect_races:
         summary["races"] = list(deployment.sim.races)
+    if monitor is not None and recorder is not None and tracer is not None:
+        analyzer = CriticalPathAnalyzer()
+        requests = [ctx for ctx in tracer.completed if ctx.kind == "request"]
+        summary["trace"] = {
+            "completed": len(tracer.completed),
+            "attribution": analyzer.aggregate(requests),
+            "slo": monitor.summary(),
+            "flight_dumps": len(recorder.dumps),
+        }
+        # The tracer may be reused on another deployment; don't let this
+        # run's sinks (and their windows) leak into the next one.
+        monitor.detach()
+        recorder.detach()
     return summary
 
 
@@ -136,11 +177,15 @@ def run(
     duration: float = 180.0,
     power_budget_watts: float = 24.0,
     load_scale: float = 1.0,
+    trace: bool = False,
 ) -> Dict:
     """Run both schedulers on identically seeded deployments."""
     variants: Dict[str, Dict] = {}
     races: List = []
     for scheduler in ("batch", "fifo"):
+        # Fresh tracer per variant: each deployment restarts sim time
+        # at zero, so sharing one would interleave unrelated windows.
+        tracer = RequestTracer() if trace else None
         summary = run_point(
             scheduler,
             seed=seed,
@@ -150,6 +195,7 @@ def run(
             detect_races=detect_races,
             event_digest=event_digest,
             metrics=metrics,
+            tracer=tracer,
         )
         if detect_races:
             races.extend(summary.pop("races", []))
@@ -170,12 +216,20 @@ def run(
         "no_requests_lost": _exactly_once(batch) and _exactly_once(fifo),
         "batch_lower_energy": batch["energy_joules"] < fifo["energy_joules"],
     }
+    if trace:
+        # Every traced request's phase segments must sum to its
+        # measured end-to-end latency — the attribution identity.
+        anchors["attribution_identity"] = all(
+            variant["trace"]["attribution"]["identity_failures"] == 0
+            for variant in variants.values()
+        )
     result: Dict = {
         "params": {
             "seed": seed,
             "duration": duration,
             "power_budget_watts": power_budget_watts,
             "load_scale": load_scale,
+            "trace": trace,
         },
         "variants": variants,
         "anchors": anchors,
@@ -211,6 +265,28 @@ def _report(result: Dict) -> str:
             ]
         )
     lines.append(format_table(headers, rows))
+    if any("trace" in result["variants"][n] for n in ("batch", "fifo")):
+        lines.append("")
+        lines.append("Latency attribution (share of traced request time):")
+        for name in ("batch", "fifo"):
+            summary = result["variants"][name]
+            if "trace" not in summary:
+                continue
+            attribution = summary["trace"]["attribution"]
+            shares = attribution["shares"]
+            parts = ", ".join(
+                f"{component}={shares[component]:.1%}"
+                for component in sorted(shares, key=lambda c: -shares[c])
+                if shares[component] > 0.0005
+            )
+            lines.append(f"  {name}: {parts or 'no traced requests'}")
+            slo = summary["trace"]["slo"]
+            fired = sum(t["alerts"] for t in slo["tenants"].values())
+            lines.append(
+                f"  {name}: traces={attribution['traces']} "
+                f"identity_failures={attribution['identity_failures']} "
+                f"slo_alerts={fired}"
+            )
     lines.append("")
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
@@ -223,6 +299,7 @@ def _build_result(
     power_budget_watts: float = 24.0,
     load_scale: float = 1.0,
     detect_races: bool = False,
+    trace: bool = False,
 ) -> ExperimentResult:
     registry = MetricsRegistry()
     raw = run(
@@ -232,6 +309,7 @@ def _build_result(
         duration=duration,
         power_budget_watts=power_budget_watts,
         load_scale=load_scale,
+        trace=trace,
     )
     batch, fifo = raw["variants"]["batch"], raw["variants"]["fifo"]
     return ExperimentResult(
@@ -243,6 +321,7 @@ def _build_result(
             "power_budget_watts": power_budget_watts,
             "load_scale": load_scale,
             "detect_races": detect_races,
+            "trace": trace,
         },
         metrics={
             "batch_spin_ups": batch["spin_ups"],
@@ -274,6 +353,7 @@ EXPERIMENT = Experiment(
         "power_budget_watts": 24.0,
         "load_scale": 1.0,
         "detect_races": False,
+        "trace": False,
     },
 )
 

@@ -54,6 +54,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.fabric.topology import Fabric
 from repro.obs.metrics import NULL_REGISTRY, Counter, Gauge, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, RequestTracer
 
 __all__ = ["AllocationSession", "BandwidthModel", "Flow", "FlowAllocation"]
 
@@ -251,12 +252,14 @@ class BandwidthModel:
         duplex_capacity: float = DEFAULT_DUPLEX_CAPACITY,
         root_iops_limit: Optional[float] = DEFAULT_ROOT_IOPS_LIMIT,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional["RequestTracer"] = None,
     ):
         self.fabric = fabric
         self.per_direction_capacity = per_direction_capacity
         self.duplex_capacity = duplex_capacity
         self.root_iops_limit = root_iops_limit
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._allocations_counter: Optional[Counter] = None
         # Constraint skeletons memoized per (topology epoch, flow
         # signature); see _build_constraints.
@@ -370,6 +373,8 @@ class BandwidthModel:
 
         if self.metrics.enabled:
             self._record_utilisation(constraints, used)
+        if self.tracer.enabled:
+            self._trace_throttled(flows, rates)
         return FlowAllocation(
             rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
         )
@@ -513,6 +518,25 @@ class BandwidthModel:
             if gauge is None:
                 gauge = cons.gauge = self.metrics.gauge(f"{cons.label}.util")
             gauge.set(util)
+
+    def _trace_throttled(
+        self, flows: Sequence[Flow], rates: Sequence[float]
+    ) -> None:
+        """Emit one instant when the fabric caps any flow below demand."""
+        throttled = 0
+        shortfall = 0.0
+        for i, flow in enumerate(flows):
+            gap = flow.demand - rates[i]
+            if gap > 1e-9:
+                throttled += 1
+                shortfall += gap
+        if throttled:
+            self.tracer.instant(
+                "fabric.throttled",
+                flows=len(flows),
+                throttled=throttled,
+                shortfall_bytes_per_s=shortfall,
+            )
 
     # -- convenience -----------------------------------------------------------
 
@@ -661,6 +685,8 @@ class AllocationSession:
         rates, used = _progressive_fill(len(flows), demands, constraints, flow_cons)
         if self.model.metrics.enabled:
             self.model._record_utilisation(constraints, used)
+        if self.model.tracer.enabled:
+            self.model._trace_throttled(flows, rates)
         return FlowAllocation(
             rates={flow.flow_id: rates[i] for i, flow in enumerate(flows)}
         )

@@ -45,7 +45,11 @@ class FaultInjector:
         self.history: List[FaultRecord] = []
 
     def _log(self, kind: str, target: str) -> None:
-        self.history.append(FaultRecord(self.deployment.sim.now, kind, target))
+        sim = self.deployment.sim
+        self.history.append(FaultRecord(sim.now, kind, target))
+        if sim.tracer.enabled:
+            # "fault.*" instants are FlightRecorder dump triggers.
+            sim.tracer.instant(f"fault.{kind}", target=target)
 
     # -- hosts -----------------------------------------------------------
 

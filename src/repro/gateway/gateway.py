@@ -162,6 +162,11 @@ class Gateway:
         self._kick: Optional[Event] = None
         self._next_request_id = 0
         self._started = False
+        # Request tracing: fetched once; per-disk marks of when the
+        # power budget first refused a spin-up, so dispatch can split
+        # each request's wait into queue_wait vs power_wait.
+        self._tracer = sim.tracer
+        self._power_blocked_since: Dict[str, float] = {}
         self._baseline_spin_ups = 0
         self._baseline_energy = 0.0
         # Obs instruments, fetched once (no-ops on the null registry).
@@ -289,13 +294,27 @@ class Gateway:
             arrival=now,
             deadline=now + (spec.slo_seconds if spec is not None else 0.0),
         )
+        if self._tracer.enabled:
+            request.trace = self._tracer.start(
+                "gateway.request",
+                kind="request",
+                tenant=tenant,
+                request_id=request.request_id,
+                space_id=space_id,
+                disk_id=disk_id,
+                size=size,
+                is_read=is_read,
+                deadline=request.deadline,
+            )
         try:
             self.queue.push(request)
-        except GatewayError:
+        except GatewayError as exc:
             self.stats.rejected += 1
             self._m_rejected.inc()
             if spec is not None:
                 self.stats.per_tenant[tenant].rejected += 1
+            request.trace.event("admission.rejected", reason=str(exc))
+            request.trace.finish("rejected")
             raise
         self._next_request_id += 1
         self.stats.admitted += 1
@@ -353,8 +372,15 @@ class Gateway:
             if host is not None:
                 busy_hosts.append(host)
         dispatched = False
+        tracing = self._tracer.enabled
         for entry in self._scheduler.order(pending, busy_hosts, self._host_of):
             if not power.can_afford(entry.disk_id):
+                if tracing:
+                    # First refusal marks when the budget became the
+                    # binding constraint for this disk's queued work.
+                    self._power_blocked_since.setdefault(
+                        entry.disk_id, self.sim.now
+                    )
                 if self._scheduler.head_of_line:
                     break  # the naive baseline stalls behind its head
                 continue  # already-spinning disks may still be free
@@ -364,6 +390,7 @@ class Gateway:
             if not batch:
                 continue
             power.grant(entry.disk_id)
+            blocked_since = self._power_blocked_since.pop(entry.disk_id, None)
             self._in_flight[entry.disk_id] = batch
             now = self.sim.now
             for request in batch:
@@ -371,6 +398,16 @@ class Gateway:
                 request.dispatched_at = now
                 request.attempts += 1
                 self._m_queue_wait.observe(now - request.arrival)
+                if tracing:
+                    # queue_wait runs from arrival until the budget
+                    # became binding (or until now if it never was);
+                    # the rest of the wait is power_wait.
+                    if blocked_since is None:
+                        queue_end = now
+                    else:
+                        queue_end = min(max(request.arrival, blocked_since), now)
+                    request.trace.phase_at("queue_wait", queue_end)
+                    request.trace.phase("power_wait")
             self.stats.batches += 1
             self._m_batches.inc()
             self._m_batch_size.observe(float(len(batch)))
@@ -386,11 +423,17 @@ class Gateway:
         try:
             for request in batch:
                 space = self._spaces[request.space_id]
+                # Time spent behind earlier requests of the same batch.
+                request.trace.phase("batch_wait")
                 try:
                     if request.is_read:
-                        yield from space.read(request.offset, request.size)
+                        yield from space.read(
+                            request.offset, request.size, trace=request.trace
+                        )
                     else:
-                        yield from space.write(request.offset, request.size)
+                        yield from space.write(
+                            request.offset, request.size, trace=request.trace
+                        )
                 except StorageUnavailableError as exc:
                     self._finish(request, failure=str(exc))
                 else:
@@ -412,6 +455,8 @@ class Gateway:
             self._m_failed.inc()
             if tenant is not None:
                 tenant.failed += 1
+            request.trace.annotate(slo_missed=request.missed_slo())
+            request.trace.finish("failed")
             return
         request.state = RequestState.COMPLETED
         latency = request.completed_at - request.arrival
@@ -423,11 +468,14 @@ class Gateway:
             tenant.completed += 1
             tenant.latencies.append(latency)
             self._m_tenant_latency[request.tenant].observe(latency)
-        if request.missed_slo():
+        missed = request.missed_slo()
+        if missed:
             self.stats.slo_misses += 1
             self._m_slo_miss.inc()
             if tenant is not None:
                 tenant.slo_misses += 1
+        request.trace.annotate(slo_missed=missed)
+        request.trace.finish("ok")
 
     def _reclaim_idle(self) -> bool:
         """Spin down one idle disk to free budget for queued work.

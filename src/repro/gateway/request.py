@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.trace import NULL_TRACE, TraceContext
+
 __all__ = [
     "AdmissionError",
     "GatewayError",
@@ -84,6 +86,10 @@ class GatewayRequest:
     dispatched_at: Optional[float] = None
     completed_at: Optional[float] = None
     failure: Optional[str] = field(default=None, repr=False)
+    #: The request's causal trace, carried explicitly through the whole
+    #: path (gateway -> ClientLib -> iSCSI -> disk).  Defaults to the
+    #: shared no-op context, so untraced runs pay nothing.
+    trace: TraceContext = field(default=NULL_TRACE, repr=False)
 
     @property
     def latency(self) -> Optional[float]:

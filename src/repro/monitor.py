@@ -47,6 +47,9 @@ class DeploymentSnapshot:
     #: ``MetricsRegistry.dump()`` of the deployment's registry, or
     #: ``None`` when metrics were not armed (NULL_REGISTRY).
     metrics: Optional[Dict] = None
+    #: Critical-path aggregate over the tracer's completed request
+    #: traces, or ``None`` when tracing was not armed (NULL_TRACER).
+    trace_breakdown: Optional[Dict] = None
 
 
 def _unit_snapshot(unit_id: str, fabric, disks, endpoints) -> UnitSnapshot:
@@ -93,6 +96,12 @@ def snapshot(
             else None
         ),
     )
+    tracer = deployment.sim.tracer
+    if tracer.enabled:
+        from repro.obs import CriticalPathAnalyzer
+
+        requests = [ctx for ctx in tracer.completed if ctx.kind == "request"]
+        snap.trace_breakdown = CriticalPathAnalyzer().aggregate(requests)
     if isinstance(deployment, MultiUnitDeployment):
         for unit_id, unit in deployment.units.items():
             snap.units[unit_id] = _unit_snapshot(
@@ -133,6 +142,8 @@ def render_dashboard(snap: DeploymentSnapshot) -> str:
             lines.append(f"    FAILED: {', '.join(unit.failed_components)}")
     if snap.metrics is not None:
         lines.extend(_render_metrics(snap.metrics))
+    if snap.trace_breakdown is not None:
+        lines.extend(_render_breakdown(snap.trace_breakdown))
     return "\n".join(lines)
 
 
@@ -147,6 +158,22 @@ _DASHBOARD_COUNTERS = (
     "switch.turns",
     "controller.commands",
 )
+
+
+def _render_breakdown(aggregate: Dict) -> List[str]:
+    """Latency-attribution section, fed by the request tracer."""
+    lines = [
+        f"  latency attribution ({aggregate['traces']} traced requests, "
+        f"{aggregate['identity_failures']} identity failures):"
+    ]
+    shares = aggregate.get("shares", {})
+    for component in sorted(shares, key=lambda c: (-shares[c], c)):
+        share = shares[component]
+        if share <= 0.0:
+            continue
+        bar = "#" * int(round(share * 40))
+        lines.append(f"    {component:<20} {share:7.2%} {bar}")
+    return lines
 
 
 def _render_metrics(dump: Dict) -> List[str]:

@@ -17,6 +17,7 @@ from typing import Dict, Generator, Optional
 from repro.disk.device import IoRequest, SimulatedDisk
 from repro.net.network import Network
 from repro.net.rpc import RemoteError, RpcClient, RpcServer, RpcTimeout
+from repro.obs.trace import NULL_SCOPE, TraceScope
 from repro.sim import Event, Simulator
 
 __all__ = [
@@ -52,14 +53,17 @@ class StorageVolume:
         if self.offset < 0 or self.length <= 0:
             raise ValueError("invalid volume geometry")
 
-    def submit(self, offset: int, size: int, is_read: bool) -> Event:
+    def submit(
+        self, offset: int, size: int, is_read: bool, scope: TraceScope = NULL_SCOPE
+    ) -> Event:
         if offset < 0 or offset + size > self.length:
             raise ValueError(
                 f"I/O beyond volume {self.volume_id!r}: "
                 f"offset={offset} size={size} length={self.length}"
             )
         return self.disk.submit(
-            IoRequest(offset=self.offset + offset, size=size, is_read=is_read)
+            IoRequest(offset=self.offset + offset, size=size, is_read=is_read),
+            scope,
         )
 
 
@@ -113,14 +117,21 @@ class IscsiTargetServer:
     def _list_targets(self) -> list:
         return self.exposed_targets()
 
-    def _io(self, session_id: int, offset: int, size: int, is_read: bool):
+    def _io(
+        self,
+        session_id: int,
+        offset: int,
+        size: int,
+        is_read: bool,
+        trace_scope: TraceScope = NULL_SCOPE,
+    ):
         target_name = self._sessions.get(session_id)
         if target_name is None:
             raise SessionError(f"stale session {session_id}")
         volume = self._volumes.get(target_name)
         if volume is None:
             raise SessionError(f"target {target_name!r} withdrawn")
-        service_time = yield volume.submit(offset, size, is_read)
+        service_time = yield volume.submit(offset, size, is_read, trace_scope)
         self._m_ios.inc()
         self._m_bytes.inc(size)
         return {"ok": True, "service_time": service_time}
@@ -136,17 +147,33 @@ class IscsiSession:
         self.session_id = session_id
         self.connected = True
 
-    def read(self, offset: int, size: int) -> Generator[Event, None, dict]:
-        return self._io(offset, size, is_read=True)
+    def read(
+        self, offset: int, size: int, scope: TraceScope = NULL_SCOPE
+    ) -> Generator[Event, None, dict]:
+        return self._io(offset, size, is_read=True, scope=scope)
 
-    def write(self, offset: int, size: int) -> Generator[Event, None, dict]:
-        return self._io(offset, size, is_read=False)
+    def write(
+        self, offset: int, size: int, scope: TraceScope = NULL_SCOPE
+    ) -> Generator[Event, None, dict]:
+        return self._io(offset, size, is_read=False, scope=scope)
 
-    def _io(self, offset: int, size: int, is_read: bool) -> Generator[Event, None, dict]:
+    def _io(
+        self,
+        offset: int,
+        size: int,
+        is_read: bool,
+        scope: TraceScope = NULL_SCOPE,
+    ) -> Generator[Event, None, dict]:
         if not self.connected:
             raise SessionError("session closed")
         request_size = 256 if is_read else 256 + size
         response_size = 256 + size if is_read else 256
+        extra = {}
+        if scope.enabled:
+            # The simulated RPC passes kwargs by reference in-process,
+            # so the scope rides the request to the target server.  The
+            # untraced hot path ships nothing.
+            extra["trace_scope"] = scope
         try:
             result = yield from self.initiator.rpc.call(
                 self.host_address,
@@ -158,11 +185,15 @@ class IscsiSession:
                 timeout=self.initiator.io_timeout,
                 request_size=request_size,
                 response_size=response_size,
+                **extra,
             )
         except (RpcTimeout, RemoteError) as exc:
             self.connected = False
             self.initiator._m_session_errors.inc()
             raise SessionError(str(exc)) from exc
+        # Response travel back from the endpoint (the disk layer closed
+        # its last boundary when the media transfer ended).
+        scope.phase("network")
         return result
 
     def logout(self) -> Generator[Event, None, None]:

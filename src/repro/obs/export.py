@@ -68,14 +68,18 @@ def export_text(registry: MetricsRegistry) -> str:
         width = max(len(name) for name in histograms)
         for name in sorted(histograms):
             entry = histograms[name]
-            lines.append(
+            line = (
                 f"  {name:<{width}}  n={entry['count']}"
                 f" mean={_format_value(entry['mean'])}"
                 f" p50={_format_value(entry['p50'])}"
                 f" p95={_format_value(entry['p95'])}"
                 f" p99={_format_value(entry['p99'])}"
                 f" max={_format_value(entry['max'])}"
+                f" sum={_format_value(entry['sum'])}"
             )
+            if entry.get("overflow"):
+                line += f" overflow={entry['overflow']}"
+            lines.append(line)
 
     spans: Dict[str, Dict[str, float]] = dump["spans"]
     if spans:

@@ -132,6 +132,11 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @property
+    def overflow(self) -> int:
+        """Samples beyond the last bucket edge (the hidden tail)."""
+        return self.counts[-1]
+
     def percentile(self, q: float) -> float:
         """Upper bucket edge at rank ``q`` (0..100), clamped to the max."""
         if not 0.0 <= q <= 100.0:
@@ -149,10 +154,16 @@ class Histogram:
         return self.observed_max
 
     def as_dict(self) -> Dict[str, Any]:
+        """Export with the exact (non-bucketed) ``sum``/``min``/``max``
+        and the overflow-bucket count alongside the bucket estimates, so
+        bucket-derived percentiles can always be sanity-checked against
+        the true extremes (``p99 <= max``) and a tail hiding beyond the
+        last edge is visible rather than silently folded into it."""
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "count": self.count,
+            "overflow": self.overflow,
             "sum": self.total,
             "min": self.observed_min,
             "max": self.observed_max,

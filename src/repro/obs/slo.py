@@ -1,0 +1,267 @@
+"""SLO error-budget burn-rate monitoring and the trace flight recorder.
+
+Both consume the :class:`~repro.obs.trace.RequestTracer` streams and
+run entirely on sim time, so their outputs (alerts, ring dumps) are a
+deterministic function of the simulated execution.
+
+**Burn-rate math.**  A tenant's objective ``o`` (e.g. 0.95) allows an
+error budget of ``1 - o`` bad requests.  Over a rolling window the
+monitor computes ``bad_fraction = bad / total`` and the *burn rate*
+``bad_fraction / (1 - o)`` — the multiple of the sustainable error
+rate at which the budget is currently being consumed (burn 1.0 ≈
+exactly spending the budget; burn 2.0 ≈ spending it twice as fast).
+An alert fires when the burn rate reaches ``fire_threshold`` with at
+least ``min_events`` requests in the window, and clears (hysteresis)
+only once it drops below ``clear_threshold``.  A request is *bad* when
+it failed, was rejected, or completed past its SLO deadline.
+
+**Flight recorder.**  A bounded ring of the last ``capacity`` completed
+traces.  When a trigger instant fires (``fault.*`` injection or an
+``slo.alert``), the recorder snapshots the ring into a canonical-JSON
+dump — the "what led up to this" record.  Register the recorder on the
+tracer *before* the monitor so the triggering trace is already in the
+ring when the monitor's alert instant arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import InstantRecord, RequestTracer, TraceContext
+
+__all__ = ["FlightRecorder", "SloAlert", "SloMonitor", "SloObjective"]
+
+
+class SloObjective:
+    """One tenant's availability objective and alerting policy."""
+
+    __slots__ = (
+        "tenant",
+        "objective",
+        "window_seconds",
+        "fire_threshold",
+        "clear_threshold",
+        "min_events",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        objective: float = 0.95,
+        window_seconds: float = 60.0,
+        fire_threshold: float = 2.0,
+        clear_threshold: float = 1.0,
+        min_events: int = 5,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        if clear_threshold > fire_threshold:
+            raise ValueError("clear_threshold must not exceed fire_threshold")
+        self.tenant = tenant
+        self.objective = objective
+        self.window_seconds = window_seconds
+        self.fire_threshold = fire_threshold
+        self.clear_threshold = clear_threshold
+        self.min_events = min_events
+
+
+class SloAlert:
+    """One fire or clear transition of a tenant's burn-rate alert."""
+
+    __slots__ = ("tenant", "kind", "time", "burn_rate", "bad", "total")
+
+    def __init__(
+        self, tenant: str, kind: str, time: float, burn_rate: float, bad: int, total: int
+    ) -> None:
+        self.tenant = tenant
+        self.kind = kind  # "fire" | "clear"
+        self.time = time
+        self.burn_rate = burn_rate
+        self.bad = bad
+        self.total = total
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "time": self.time,
+            "burn_rate": self.burn_rate,
+            "bad": self.bad,
+            "total": self.total,
+        }
+
+
+def _is_bad(ctx: TraceContext) -> bool:
+    if ctx.status != "ok":
+        return True
+    return bool(ctx.attrs.get("slo_missed", False))
+
+
+class SloMonitor:
+    """Rolling per-tenant error-budget burn rates over completed traces.
+
+    Registers itself as a completion sink on ``tracer``; every finished
+    request-kind trace updates its tenant's window and may fire/clear a
+    burn-rate alert.  Alerts are recorded on :attr:`alerts` and emitted
+    into the tracer's instant stream as ``slo.alert`` / ``slo.clear``
+    (which is what triggers the flight recorder).  Call :meth:`detach`
+    when the run is over if the tracer outlives the monitor.
+    """
+
+    def __init__(
+        self, tracer: RequestTracer, objectives: Sequence[SloObjective]
+    ) -> None:
+        self.tracer = tracer
+        self.objectives: Dict[str, SloObjective] = {}
+        for objective in objectives:
+            if objective.tenant in self.objectives:
+                raise ValueError(f"duplicate objective for {objective.tenant!r}")
+            self.objectives[objective.tenant] = objective
+        # Per-tenant rolling window of (completion time, was_bad).
+        self._windows: Dict[str, Deque[Tuple[float, bool]]] = {
+            tenant: deque() for tenant in self.objectives
+        }
+        self._firing: Dict[str, bool] = {tenant: False for tenant in self.objectives}
+        self.alerts: List[SloAlert] = []
+        tracer.add_sink(self._on_complete)
+
+    def detach(self) -> None:
+        self.tracer.remove_sink(self._on_complete)
+
+    def burn_rate(self, tenant: str) -> float:
+        """The tenant's current windowed burn rate (0.0 when idle)."""
+        objective = self.objectives[tenant]
+        window = self._windows[tenant]
+        if not window:
+            return 0.0
+        bad = sum(1 for _, was_bad in window if was_bad)
+        return (bad / len(window)) / (1.0 - objective.objective)
+
+    def firing(self, tenant: str) -> bool:
+        return self._firing[tenant]
+
+    def _on_complete(self, ctx: TraceContext) -> None:
+        if ctx.kind != "request" or ctx.tenant is None:
+            return
+        objective = self.objectives.get(ctx.tenant)
+        if objective is None or ctx.end is None:
+            return
+        now = ctx.end
+        window = self._windows[ctx.tenant]
+        window.append((now, _is_bad(ctx)))
+        horizon = now - objective.window_seconds
+        while window and window[0][0] < horizon:
+            window.popleft()
+        total = len(window)
+        bad = sum(1 for _, was_bad in window if was_bad)
+        burn = (bad / total) / (1.0 - objective.objective) if total else 0.0
+        if (
+            not self._firing[ctx.tenant]
+            and total >= objective.min_events
+            and burn >= objective.fire_threshold
+        ):
+            self._firing[ctx.tenant] = True
+            self._transition(ctx.tenant, "fire", now, burn, bad, total)
+        elif self._firing[ctx.tenant] and burn < objective.clear_threshold:
+            self._firing[ctx.tenant] = False
+            self._transition(ctx.tenant, "clear", now, burn, bad, total)
+
+    def _transition(
+        self, tenant: str, kind: str, time: float, burn: float, bad: int, total: int
+    ) -> None:
+        self.alerts.append(SloAlert(tenant, kind, time, burn, bad, total))
+        self.tracer.instant(
+            "slo.alert" if kind == "fire" else "slo.clear",
+            tenant=tenant,
+            burn_rate=burn,
+            bad=bad,
+            total=total,
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe view: per-tenant state plus the alert history."""
+        tenants: Dict[str, Any] = {}
+        for tenant in sorted(self.objectives):
+            window = self._windows[tenant]
+            tenants[tenant] = {
+                "objective": self.objectives[tenant].objective,
+                "window_events": len(window),
+                "burn_rate": self.burn_rate(tenant),
+                "firing": self._firing[tenant],
+                "alerts": sum(
+                    1 for a in self.alerts if a.tenant == tenant and a.kind == "fire"
+                ),
+            }
+        return {
+            "tenants": tenants,
+            "alerts": [alert.as_dict() for alert in self.alerts],
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of recent traces, dumped on alert or fault.
+
+    ``trigger_prefixes`` selects which instant events snapshot the ring
+    (by default fault injections and SLO alert fires).  Dumps are plain
+    dicts (canonical-JSON-ready via
+    :func:`repro.obs.trace_export.export_trace_jsonl` conventions) kept
+    on :attr:`dumps`; the ring itself can be serialized at any time
+    with :meth:`snapshot`.
+    """
+
+    def __init__(
+        self,
+        tracer: RequestTracer,
+        capacity: int = 32,
+        trigger_prefixes: Sequence[str] = ("fault.", "slo.alert"),
+        max_dumps: int = 16,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.tracer = tracer
+        self.capacity = capacity
+        self.trigger_prefixes: Tuple[str, ...] = tuple(trigger_prefixes)
+        self.max_dumps = max_dumps
+        self._ring: Deque[TraceContext] = deque(maxlen=capacity)
+        self.dumps: List[Dict[str, Any]] = []
+        self.triggers_seen = 0
+        tracer.add_sink(self._on_complete)
+        tracer.add_instant_sink(self._on_instant)
+
+    def detach(self) -> None:
+        self.tracer.remove_sink(self._on_complete)
+        self.tracer.remove_instant_sink(self._on_instant)
+
+    def _on_complete(self, ctx: TraceContext) -> None:
+        self._ring.append(ctx)
+
+    def _on_instant(self, record: InstantRecord) -> None:
+        matched = False
+        for prefix in self.trigger_prefixes:
+            if record.name.startswith(prefix):
+                matched = True
+                break
+        if not matched:
+            return
+        self.triggers_seen += 1
+        if len(self.dumps) < self.max_dumps:
+            self.dumps.append(
+                {
+                    "trigger": record.as_dict(),
+                    "traces": self.snapshot(),
+                }
+            )
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The current ring as export-ready dicts (oldest first)."""
+        from repro.obs.trace_export import trace_to_dict
+
+        return [trace_to_dict(ctx) for ctx in self._ring]
+
+    def last(self, n: Optional[int] = None) -> List[TraceContext]:
+        """The most recent ``n`` traces in the ring (all by default)."""
+        items = list(self._ring)
+        if n is None:
+            return items
+        return items[-n:]

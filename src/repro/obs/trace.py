@@ -1,0 +1,543 @@
+"""Causal per-request tracing with critical-path latency attribution.
+
+A :class:`TraceContext` is carried explicitly on a request (no ambient
+globals, so the determinism lint and the race detector stay clean) and
+accumulates two kinds of data as the request flows through the system:
+
+* **phase segments** — contiguous ``[start, end]`` intervals labelled
+  with a component name (``queue_wait``, ``power_wait``, ``spinup``,
+  ``transfer``, …).  Segments are stamped at *phase boundaries*: each
+  call to :meth:`TraceContext.phase` attributes the interval since the
+  previous boundary to the named component and advances the boundary.
+  Because the boundaries telescope, the segment durations (plus a
+  final ``other`` remainder closed by :meth:`TraceContext.finish`)
+  always sum to the measured end-to-end latency *exactly* — the
+  attribution identity asserted by :class:`CriticalPathAnalyzer`.
+* **typed events** — instantaneous annotations (session errors,
+  remounts, controller attempts) with sim-time stamps.
+
+Cross-host propagation uses :class:`TraceScope`, a cheap epoch-stamped
+handle passed through the iSCSI RPC layer (the simulated RPC passes
+objects by reference in-process).  When the client abandons an attempt
+(timeout → remount), it calls :meth:`TraceContext.invalidate_scopes`;
+stale server-side processes still holding the old scope then stamp
+nothing, so a doomed attempt's residue cannot pollute the attribution
+of the retry.  All timestamps come from the simulator clock bound via
+:meth:`RequestTracer.bind_clock`, never the wall clock.
+
+The disabled path mirrors :data:`~repro.obs.metrics.NULL_REGISTRY`:
+components fetch ``sim.tracer`` once and call it unconditionally; with
+:data:`NULL_TRACER` every call is an empty method body on shared
+singletons (:data:`NULL_TRACE`, :data:`NULL_SCOPE`), so an untraced
+simulation pays one no-op call per instrumented step and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "COMPONENTS",
+    "CriticalPathAnalyzer",
+    "InstantRecord",
+    "NULL_SCOPE",
+    "NULL_TRACE",
+    "NULL_TRACER",
+    "NullTraceContext",
+    "NullTraceScope",
+    "NullTracer",
+    "PhaseSegment",
+    "RequestTracer",
+    "TraceContext",
+    "TraceEvent",
+    "TraceScope",
+]
+
+#: The component taxonomy of the request path, in pipeline order.
+#: ``other`` is the closing remainder — nonzero only when time passed
+#: between the last explicit phase boundary and completion.
+COMPONENTS: Tuple[str, ...] = (
+    "queue_wait",          # admission -> power budget becomes the binding constraint
+    "power_wait",          # blocked on the PowerAccountant's wattage budget
+    "batch_wait",          # serialized behind earlier requests of the same batch
+    "network",             # RPC request/response travel + endpoint dispatch
+    "disk_queue",          # waiting in the disk's command queue
+    "spinup",              # mechanical spin-up of a spun-down disk
+    "seek_rotation",       # positioning (seek + rotational latency)
+    "bandwidth_throttle",  # protocol overhead, fabric hops, chunking, turnaround
+    "transfer",            # media transfer at the platter rate
+    "failover",            # session recovery: remount + doomed-attempt residue
+    "other",               # closing remainder (unattributed tail)
+)
+
+_Clock = Callable[[], float]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class TraceEvent:
+    """One instantaneous, typed annotation on a trace."""
+
+    __slots__ = ("name", "time", "attrs")
+
+    def __init__(self, name: str, time: float, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.time = time
+        self.attrs = attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "time": self.time, "attrs": dict(self.attrs)}
+
+
+class PhaseSegment:
+    """One contiguous interval of a trace attributed to a component."""
+
+    __slots__ = ("component", "start", "end")
+
+    def __init__(self, component: str, start: float, end: float) -> None:
+        self.component = component
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"component": self.component, "start": self.start, "end": self.end}
+
+
+class InstantRecord:
+    """A tracer-level instant event not tied to one request (faults,
+    SLO alerts, control-plane actions)."""
+
+    __slots__ = ("name", "time", "attrs")
+
+    def __init__(self, name: str, time: float, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.time = time
+        self.attrs = attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "time": self.time, "attrs": dict(self.attrs)}
+
+
+class TraceContext:
+    """The per-request trace: phase boundaries, events, and identity."""
+
+    __slots__ = (
+        "tracer",
+        "trace_id",
+        "name",
+        "kind",
+        "tenant",
+        "attrs",
+        "start",
+        "end",
+        "status",
+        "segments",
+        "events",
+        "_boundary",
+        "_epoch",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "RequestTracer",
+        trace_id: int,
+        name: str,
+        kind: str,
+        tenant: Optional[str],
+        attrs: Dict[str, Any],
+        start: float,
+    ) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.name = name
+        self.kind = kind
+        self.tenant = tenant
+        self.attrs = attrs
+        self.start = start
+        self.end: Optional[float] = None
+        self.status: Optional[str] = None
+        self.segments: List[PhaseSegment] = []
+        self.events: List[TraceEvent] = []
+        self._boundary = start
+        self._epoch = 0
+        self._finished = False
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    # -- phase boundaries -------------------------------------------------
+
+    def phase(self, component: str) -> None:
+        """Attribute the time since the last boundary to ``component``."""
+        self.phase_at(component, self.tracer.now())
+
+    def phase_at(self, component: str, boundary: float) -> None:
+        """Close a phase at an explicit (possibly retroactive) boundary.
+
+        Used by the disk layer to decompose one mechanical service
+        interval into seek/throttle/transfer after the fact, without
+        scheduling extra simulation events.  Boundaries at or before
+        the current one produce no segment (zero-length phases are
+        dropped; the boundary never moves backwards, so the telescoping
+        sum identity is preserved structurally).
+        """
+        if self._finished or boundary <= self._boundary:
+            return
+        self.segments.append(PhaseSegment(component, self._boundary, boundary))
+        self._boundary = boundary
+
+    # -- events & annotations --------------------------------------------
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous typed event on this trace."""
+        if self._finished:
+            return
+        self.events.append(TraceEvent(name, self.tracer.now(), attrs))
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach (or overwrite) key/value attributes on the trace."""
+        self.attrs.update(attrs)
+
+    # -- cross-host scopes ------------------------------------------------
+
+    def scope(self) -> "TraceScope":
+        """A handle for the current attempt, valid until invalidated."""
+        return TraceScope(self, self._epoch)
+
+    def invalidate_scopes(self) -> None:
+        """Disown every outstanding scope (the attempt was abandoned)."""
+        self._epoch += 1
+
+    # -- completion -------------------------------------------------------
+
+    def finish(self, status: str) -> None:
+        """Close the trace: stamp the end, attribute the remainder.
+
+        The interval between the last phase boundary and the end lands
+        in ``other``, so the segments always partition ``[start, end]``
+        completely.  Completion hands the trace to the tracer's sinks
+        (SLO monitor, flight recorder, exporters); a second call is a
+        no-op.
+        """
+        if self._finished:
+            return
+        end = self.tracer.now()
+        self.phase_at("other", end)
+        self.end = end
+        self.status = status
+        self._finished = True
+        self._epoch += 1
+        self.tracer._complete(self)
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def latency(self) -> float:
+        """End-to-end sim seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total seconds per component over this trace's segments."""
+        totals: Dict[str, float] = {}
+        for segment in self.segments:
+            totals[segment.component] = (
+                totals.get(segment.component, 0.0) + segment.duration
+            )
+        return totals
+
+
+class TraceScope:
+    """An epoch-stamped handle onto one attempt of a traced request.
+
+    Passed by reference through the simulated RPC layer; every stamp is
+    gated on the epoch captured at creation, so a scope held by a stale
+    server-side process (client timed out and remounted) becomes inert
+    the moment the client calls ``invalidate_scopes``.
+    """
+
+    __slots__ = ("_ctx", "_epoch")
+
+    def __init__(self, ctx: TraceContext, epoch: int) -> None:
+        self._ctx = ctx
+        self._epoch = epoch
+
+    @property
+    def enabled(self) -> bool:
+        return self._epoch == self._ctx._epoch
+
+    def phase(self, component: str) -> None:
+        if self._epoch == self._ctx._epoch:
+            self._ctx.phase(component)
+
+    def phase_at(self, component: str, boundary: float) -> None:
+        if self._epoch == self._ctx._epoch:
+            self._ctx.phase_at(component, boundary)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        if self._epoch == self._ctx._epoch:
+            self._ctx.event(name, **attrs)
+
+
+class RequestTracer:
+    """The armed tracer: mints contexts, collects completions/instants.
+
+    Bind it to a simulator clock with :meth:`bind_clock` (done
+    automatically by ``Simulator(tracer=...)``); like the metrics
+    registry, one tracer may be carried across sequential simulators —
+    trace ids keep increasing and the clock rebinds to each new run.
+    """
+
+    def __init__(self, clock: Optional[_Clock] = None) -> None:
+        self._clock: _Clock = clock if clock is not None else _zero_clock
+        self._next_id = 1
+        self.completed: List[TraceContext] = []
+        self.instants: List[InstantRecord] = []
+        self._sinks: List[Callable[[TraceContext], None]] = []
+        self._instant_sinks: List[Callable[[InstantRecord], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def now(self) -> float:
+        return self._clock()
+
+    def bind_clock(self, clock: _Clock) -> None:
+        """Point the tracer at a (new) simulator's clock."""
+        self._clock = clock
+
+    # -- minting ----------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        kind: str = "request",
+        tenant: Optional[str] = None,
+        **attrs: Any,
+    ) -> TraceContext:
+        """Open a new trace context starting now."""
+        trace_id = self._next_id
+        self._next_id += 1
+        return TraceContext(
+            self, trace_id, name, kind, tenant, attrs, self._clock()
+        )
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """Record a tracer-level instant event (fault, alert, …)."""
+        record = InstantRecord(name, self._clock(), attrs)
+        self.instants.append(record)
+        for sink in self._instant_sinks:
+            sink(record)
+
+    # -- sinks ------------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[TraceContext], None]) -> None:
+        """Call ``sink(ctx)`` on every completed trace, in registration
+        order (register a flight recorder *before* an SLO monitor so the
+        triggering trace is in the ring when the alert fires)."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[TraceContext], None]) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def add_instant_sink(self, sink: Callable[[InstantRecord], None]) -> None:
+        self._instant_sinks.append(sink)
+
+    def remove_instant_sink(self, sink: Callable[[InstantRecord], None]) -> None:
+        if sink in self._instant_sinks:
+            self._instant_sinks.remove(sink)
+
+    def _complete(self, ctx: TraceContext) -> None:
+        self.completed.append(ctx)
+        for sink in self._sinks:
+            sink(ctx)
+
+    def clear(self) -> None:
+        """Drop collected traces/instants (sinks stay registered)."""
+        self.completed.clear()
+        self.instants.clear()
+
+
+class NullTraceScope(TraceScope):
+    """The disabled scope: shared, inert, safe to pass anywhere."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:  # noqa: super().__init__ intentionally skipped
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def phase(self, component: str) -> None:
+        pass
+
+    def phase_at(self, component: str, boundary: float) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+class NullTraceContext(TraceContext):
+    """The disabled context: every method an empty body.
+
+    Shared process-wide as :data:`NULL_TRACE`, which is safe only
+    because nothing recorded through it is kept — requests default to
+    it so the untraced hot path is a handful of no-op calls.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:  # noqa: super().__init__ intentionally skipped
+        pass
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def phase(self, component: str) -> None:
+        pass
+
+    def phase_at(self, component: str, boundary: float) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+    def scope(self) -> TraceScope:
+        return NULL_SCOPE
+
+    def invalidate_scopes(self) -> None:
+        pass
+
+    def finish(self, status: str) -> None:
+        pass
+
+    @property
+    def latency(self) -> float:
+        return 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        return {}
+
+
+class NullTracer(RequestTracer):
+    """The disabled tracer: mints the shared null context, keeps nothing."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def bind_clock(self, clock: _Clock) -> None:
+        pass
+
+    def start(
+        self,
+        name: str,
+        kind: str = "request",
+        tenant: Optional[str] = None,
+        **attrs: Any,
+    ) -> TraceContext:
+        return NULL_TRACE
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+#: Shared disabled singletons; components default to these when a
+#: simulator is built without a tracer.
+NULL_SCOPE = NullTraceScope()
+NULL_TRACE = NullTraceContext()
+NULL_TRACER = NullTracer()
+
+
+class CriticalPathAnalyzer:
+    """Decompose completed traces into per-component latency.
+
+    The core contract is the *attribution identity*: for every finished
+    trace the component durations sum to the measured end-to-end
+    latency.  :meth:`analyze` verifies it per trace; :meth:`aggregate`
+    folds a population into per-component totals for reports.
+    """
+
+    def __init__(self, tolerance: float = 1e-9) -> None:
+        self.tolerance = tolerance
+
+    def analyze(self, ctx: TraceContext) -> Dict[str, Any]:
+        """Per-component breakdown of one finished trace.
+
+        Returns ``{"trace_id", "latency", "components", "residual",
+        "identity_ok", "critical_component"}`` where ``residual`` is
+        the (float-tolerance) difference between the component sum and
+        the measured latency.
+        """
+        if ctx.end is None:
+            raise ValueError(f"trace {ctx.trace_id} is not finished")
+        components = ctx.breakdown()
+        total = 0.0
+        for component in sorted(components):
+            total += components[component]
+        latency = ctx.latency
+        residual = latency - total
+        critical = ""
+        worst = -1.0
+        for component in COMPONENTS:
+            spent = components.get(component, 0.0)
+            if spent > worst:
+                worst = spent
+                critical = component
+        return {
+            "trace_id": ctx.trace_id,
+            "latency": latency,
+            "components": components,
+            "residual": residual,
+            "identity_ok": abs(residual) <= self.tolerance * max(1.0, latency),
+            "critical_component": critical,
+        }
+
+    def aggregate(self, traces: List[TraceContext]) -> Dict[str, Any]:
+        """Population view: totals/shares per component + identity check."""
+        totals: Dict[str, float] = {}
+        latency_sum = 0.0
+        finished = 0
+        identity_failures = 0
+        for ctx in traces:
+            if ctx.end is None:
+                continue
+            finished += 1
+            report = self.analyze(ctx)
+            if not report["identity_ok"]:
+                identity_failures += 1
+            latency_sum += ctx.latency
+            for component, spent in report["components"].items():
+                totals[component] = totals.get(component, 0.0) + spent
+        shares = {
+            component: (totals[component] / latency_sum if latency_sum > 0 else 0.0)
+            for component in totals
+        }
+        return {
+            "traces": finished,
+            "latency_total": latency_sum,
+            "components": {name: totals[name] for name in sorted(totals)},
+            "shares": {name: shares[name] for name in sorted(shares)},
+            "identity_failures": identity_failures,
+        }

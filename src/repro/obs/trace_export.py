@@ -1,0 +1,185 @@
+"""Exporters for completed request traces.
+
+Three formats, all canonical (sorted keys, fixed separators) so two
+same-seed replays produce byte-identical output:
+
+* :func:`trace_to_dict` — one trace as a JSON-safe dict, including its
+  per-component breakdown.
+* :func:`export_trace_jsonl` — one canonical-JSON line per trace, the
+  replayable per-request record (and the byte stream compared by
+  ``repro check-determinism``).
+* :func:`export_chrome_trace` — Chrome ``trace_event`` JSON (the
+  ``traceEvents`` array form), loadable by Perfetto / chrome://tracing:
+  one complete (``"X"``) event per trace plus one per phase segment,
+  instant (``"i"``) events for annotations, and metadata (``"M"``)
+  records naming processes.  Processes map to tenants (requests) or
+  the system lane; threads map to trace ids.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import InstantRecord, TraceContext
+
+__all__ = [
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_trace_jsonl",
+    "trace_to_dict",
+]
+
+#: pid reserved for system-kind traces and tracer-level instants.
+_SYSTEM_PID = 0
+
+
+def trace_to_dict(ctx: TraceContext) -> Dict[str, Any]:
+    """One trace as a canonical, JSON-safe dict."""
+    return {
+        "trace_id": ctx.trace_id,
+        "name": ctx.name,
+        "kind": ctx.kind,
+        "tenant": ctx.tenant,
+        "start": ctx.start,
+        "end": ctx.end,
+        "status": ctx.status,
+        "latency": ctx.latency,
+        "attrs": {key: ctx.attrs[key] for key in sorted(ctx.attrs)},
+        "segments": [segment.as_dict() for segment in ctx.segments],
+        "events": [event.as_dict() for event in ctx.events],
+        "breakdown": ctx.breakdown(),
+    }
+
+
+def export_trace_jsonl(traces: Iterable[TraceContext]) -> str:
+    """Canonical JSONL: one byte-stable line per completed trace."""
+    lines = [
+        json.dumps(trace_to_dict(ctx), sort_keys=True, separators=(",", ":"))
+        for ctx in traces
+    ]
+    return "\n".join(lines)
+
+
+def _micros(seconds: float) -> float:
+    return seconds * 1e6
+
+
+def _tenant_pids(traces: Sequence[TraceContext]) -> Dict[str, int]:
+    """Stable tenant → pid mapping (sorted, so replay-independent)."""
+    tenants = sorted({ctx.tenant for ctx in traces if ctx.tenant is not None})
+    return {tenant: index + 1 for index, tenant in enumerate(tenants)}
+
+
+def chrome_trace_events(
+    traces: Sequence[TraceContext],
+    instants: Sequence[InstantRecord] = (),
+) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` array for the Chrome ``trace_event`` format.
+
+    Every entry carries the required keys (``name``, ``ph``, ``ts``,
+    ``pid``, ``tid``); complete events add ``dur``.  Timestamps are
+    microseconds of sim time.
+    """
+    pids = _tenant_pids(traces)
+    events: List[Dict[str, Any]] = []
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": _SYSTEM_PID,
+            "tid": 0,
+            "args": {"name": "system"},
+        }
+    )
+    for tenant in sorted(pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pids[tenant],
+                "tid": 0,
+                "args": {"name": f"tenant:{tenant}"},
+            }
+        )
+    for ctx in traces:
+        if ctx.end is None:
+            continue
+        pid = pids.get(ctx.tenant, _SYSTEM_PID) if ctx.tenant else _SYSTEM_PID
+        tid = ctx.trace_id
+        args: Dict[str, Any] = {
+            "status": ctx.status,
+            "trace_id": ctx.trace_id,
+        }
+        for key in sorted(ctx.attrs):
+            args[key] = ctx.attrs[key]
+        events.append(
+            {
+                "name": ctx.name,
+                "cat": ctx.kind,
+                "ph": "X",
+                "ts": _micros(ctx.start),
+                "dur": _micros(ctx.latency),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for segment in ctx.segments:
+            events.append(
+                {
+                    "name": segment.component,
+                    "cat": "phase",
+                    "ph": "X",
+                    "ts": _micros(segment.start),
+                    "dur": _micros(segment.duration),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {},
+                }
+            )
+        for event in ctx.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _micros(event.time),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {key: event.attrs[key] for key in sorted(event.attrs)},
+                }
+            )
+    for instant in instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": "instant",
+                "ph": "i",
+                "s": "g",
+                "ts": _micros(instant.time),
+                "pid": _SYSTEM_PID,
+                "tid": 0,
+                "args": {key: instant.attrs[key] for key in sorted(instant.attrs)},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    traces: Sequence[TraceContext],
+    instants: Sequence[InstantRecord] = (),
+    indent: Optional[int] = None,
+) -> str:
+    """Canonical Chrome ``trace_event`` JSON (object form with
+    ``traceEvents``), loadable by Perfetto and chrome://tracing."""
+    document = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(traces, instants),
+    }
+    if indent is not None and indent > 0:
+        return json.dumps(document, sort_keys=True, indent=indent)
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))

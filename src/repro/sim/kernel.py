@@ -17,6 +17,7 @@ from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, RequestTracer
 
 if TYPE_CHECKING:  # avoid an import cycle: analysis only uses stdlib
     from repro.analysis.races import Race, RaceDetector
@@ -173,6 +174,7 @@ class Simulator:
         start_time: float = 0.0,
         detect_races: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[RequestTracer] = None,
     ) -> None:
         self._now = float(start_time)
         self._queue: List[_ScheduledItem] = []
@@ -189,6 +191,12 @@ class Simulator:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.metrics.bind_clock(lambda: self._now)
         self._events_counter = self.metrics.counter("sim.events")
+        # The request tracer rides alongside the registry: components
+        # read ``sim.tracer`` once at construction and per-request
+        # contexts are carried explicitly on requests, so the disabled
+        # case (the shared null tracer) costs nothing on the hot loop.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self._now)
         # With metrics, race detection and step hooks all off, step()
         # takes a fast branch that just pops and processes.
         self._instrumented = self.metrics.enabled or self._race_detector is not None

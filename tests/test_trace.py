@@ -1,0 +1,424 @@
+"""Unit tests for the request-tracing layer (repro.obs.trace / slo /
+trace_export): phase telescoping, scope invalidation, the null path,
+critical-path analysis, burn-rate alerting, the flight recorder, and
+the Chrome trace_event export schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    COMPONENTS,
+    CriticalPathAnalyzer,
+    FlightRecorder,
+    Histogram,
+    NULL_SCOPE,
+    NULL_TRACE,
+    NULL_TRACER,
+    RequestTracer,
+    SloMonitor,
+    SloObjective,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_trace_jsonl,
+    trace_to_dict,
+)
+
+
+class ManualClock:
+    """A hand-cranked clock standing in for the simulator's."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return RequestTracer(clock=clock)
+
+
+# -- phase boundaries and the attribution identity -------------------------
+
+
+def test_phases_telescope_and_partition_latency(tracer, clock):
+    ctx = tracer.start("req", tenant="t0")
+    clock.advance(2.0)
+    ctx.phase("queue_wait")
+    clock.advance(3.0)
+    ctx.phase("power_wait")
+    clock.advance(0.5)
+    ctx.phase("transfer")
+    clock.advance(1.0)  # unattributed tail -> "other"
+    ctx.finish("ok")
+
+    assert ctx.latency == pytest.approx(6.5)
+    # Segments are contiguous: each starts where the previous ended.
+    assert ctx.segments[0].start == ctx.start
+    for before, after in zip(ctx.segments, ctx.segments[1:]):
+        assert before.end == after.start
+    assert ctx.segments[-1].end == ctx.end
+    breakdown = ctx.breakdown()
+    assert breakdown["queue_wait"] == pytest.approx(2.0)
+    assert breakdown["power_wait"] == pytest.approx(3.0)
+    assert breakdown["transfer"] == pytest.approx(0.5)
+    assert breakdown["other"] == pytest.approx(1.0)
+    assert sum(breakdown.values()) == pytest.approx(ctx.latency)
+
+
+def test_zero_length_and_backward_boundaries_are_dropped(tracer, clock):
+    ctx = tracer.start("req")
+    clock.advance(1.0)
+    ctx.phase("queue_wait")
+    ctx.phase("power_wait")  # zero elapsed: no segment
+    ctx.phase_at("transfer", 0.5)  # backwards: no segment, boundary stays
+    assert len(ctx.segments) == 1
+    clock.advance(1.0)
+    ctx.finish("ok")
+    assert [s.component for s in ctx.segments] == ["queue_wait", "other"]
+    assert sum(s.duration for s in ctx.segments) == pytest.approx(ctx.latency)
+
+
+def test_finish_is_idempotent_and_seals_the_trace(tracer, clock):
+    ctx = tracer.start("req")
+    clock.advance(1.0)
+    ctx.finish("ok")
+    end = ctx.end
+    clock.advance(5.0)
+    ctx.finish("failed")  # second finish: no-op
+    ctx.phase("transfer")  # stamps after finish: no-op
+    ctx.event("late")
+    assert ctx.end == end
+    assert ctx.status == "ok"
+    assert ctx.events == []
+    assert len(tracer.completed) == 1
+
+
+def test_retroactive_phase_at_decomposes_an_elapsed_interval(tracer, clock):
+    ctx = tracer.start("req")
+    clock.advance(10.0)
+    # Decompose [0, 10] after the fact, the way the disk layer does.
+    ctx.phase_at("seek_rotation", 2.0)
+    ctx.phase_at("bandwidth_throttle", 3.5)
+    ctx.phase("transfer")
+    ctx.finish("ok")
+    breakdown = ctx.breakdown()
+    assert breakdown["seek_rotation"] == pytest.approx(2.0)
+    assert breakdown["bandwidth_throttle"] == pytest.approx(1.5)
+    assert breakdown["transfer"] == pytest.approx(6.5)
+    assert sum(breakdown.values()) == pytest.approx(10.0)
+
+
+# -- scopes and epoch invalidation ----------------------------------------
+
+
+def test_stale_scope_becomes_inert_after_invalidation(tracer, clock):
+    ctx = tracer.start("req")
+    stale = ctx.scope()
+    assert stale.enabled
+    ctx.invalidate_scopes()
+    assert not stale.enabled
+    clock.advance(1.0)
+    stale.phase("transfer")
+    stale.event("late")
+    assert ctx.segments == []
+    assert ctx.events == []
+    fresh = ctx.scope()
+    fresh.phase("network")
+    assert [s.component for s in ctx.segments] == ["network"]
+
+
+def test_finish_invalidates_outstanding_scopes(tracer, clock):
+    ctx = tracer.start("req")
+    scope = ctx.scope()
+    ctx.finish("ok")
+    assert not scope.enabled
+
+
+# -- the null path ---------------------------------------------------------
+
+
+def test_null_tracer_is_disabled_and_mints_the_shared_null_trace():
+    assert not NULL_TRACER.enabled
+    ctx = NULL_TRACER.start("req", tenant="t0", size=1)
+    assert ctx is NULL_TRACE
+    assert not ctx.enabled
+    ctx.phase("transfer")
+    ctx.event("x", a=1)
+    ctx.annotate(b=2)
+    ctx.finish("ok")
+    assert ctx.latency == 0.0
+    assert ctx.breakdown() == {}
+    assert ctx.scope() is NULL_SCOPE
+    assert not NULL_SCOPE.enabled
+    NULL_SCOPE.phase("transfer")
+    NULL_SCOPE.phase_at("transfer", 1.0)
+    NULL_SCOPE.event("x")
+    NULL_TRACER.instant("fault.disk", target="d0")
+    assert NULL_TRACER.completed == []
+    assert NULL_TRACER.instants == []
+
+
+# -- critical-path analysis ------------------------------------------------
+
+
+def test_analyzer_identity_and_critical_component(tracer, clock):
+    ctx = tracer.start("req")
+    clock.advance(4.0)
+    ctx.phase("spinup")
+    clock.advance(1.0)
+    ctx.phase("transfer")
+    ctx.finish("ok")
+    report = CriticalPathAnalyzer().analyze(ctx)
+    assert report["identity_ok"]
+    assert report["residual"] == pytest.approx(0.0, abs=1e-12)
+    assert report["critical_component"] == "spinup"
+    assert report["latency"] == pytest.approx(5.0)
+
+
+def test_analyzer_rejects_unfinished_traces(tracer):
+    ctx = tracer.start("req")
+    with pytest.raises(ValueError):
+        CriticalPathAnalyzer().analyze(ctx)
+
+
+def test_aggregate_shares_sum_to_one(tracer, clock):
+    for _ in range(3):
+        ctx = tracer.start("req")
+        clock.advance(2.0)
+        ctx.phase("power_wait")
+        clock.advance(1.0)
+        ctx.phase("transfer")
+        ctx.finish("ok")
+    aggregate = CriticalPathAnalyzer().aggregate(tracer.completed)
+    assert aggregate["traces"] == 3
+    assert aggregate["identity_failures"] == 0
+    assert aggregate["latency_total"] == pytest.approx(9.0)
+    assert sum(aggregate["shares"].values()) == pytest.approx(1.0)
+    assert set(aggregate["components"]) <= set(COMPONENTS)
+
+
+# -- SLO burn-rate monitoring ----------------------------------------------
+
+
+def _complete_request(tracer, clock, tenant, ok=True, dt=0.1):
+    ctx = tracer.start("req", tenant=tenant)
+    clock.advance(dt)
+    ctx.finish("ok" if ok else "failed")
+
+
+def test_burn_rate_fires_and_clears_with_hysteresis(tracer, clock):
+    monitor = SloMonitor(
+        tracer,
+        [
+            SloObjective(
+                tenant="t0",
+                objective=0.9,  # budget: 10% bad
+                window_seconds=1000.0,
+                fire_threshold=2.0,
+                clear_threshold=1.0,
+                min_events=5,
+            )
+        ],
+    )
+    # 4 bad of first 4: burn huge but below min_events -> silent.
+    for _ in range(4):
+        _complete_request(tracer, clock, "t0", ok=False)
+    assert not monitor.firing("t0")
+    _complete_request(tracer, clock, "t0", ok=False)
+    # 5 bad / 5 total: bad_fraction 1.0 / 0.1 budget = burn 10 -> fire.
+    assert monitor.firing("t0")
+    assert monitor.burn_rate("t0") == pytest.approx(10.0)
+    fires = [a for a in monitor.alerts if a.kind == "fire"]
+    assert len(fires) == 1
+    assert fires[0].bad == 5 and fires[0].total == 5
+    # Alert instants feed the tracer stream (flight-recorder trigger).
+    assert [i.name for i in tracer.instants] == ["slo.alert"]
+    # Good traffic dilutes the window; must drop below clear_threshold
+    # (burn < 1.0 => bad_fraction < 0.1 => > 45 good on 5 bad).
+    for _ in range(50):
+        _complete_request(tracer, clock, "t0", ok=True)
+    assert not monitor.firing("t0")
+    clears = [a for a in monitor.alerts if a.kind == "clear"]
+    assert len(clears) == 1
+    assert [i.name for i in tracer.instants] == ["slo.alert", "slo.clear"]
+    monitor.detach()
+
+
+def test_slo_missed_annotation_counts_as_bad(tracer, clock):
+    monitor = SloMonitor(
+        tracer, [SloObjective(tenant="t0", objective=0.5, min_events=1)]
+    )
+    ctx = tracer.start("req", tenant="t0")
+    clock.advance(0.1)
+    ctx.annotate(slo_missed=True)
+    ctx.finish("ok")  # completed, but past its deadline
+    assert monitor.burn_rate("t0") == pytest.approx(2.0)
+    assert monitor.firing("t0")
+    monitor.detach()
+
+
+def test_window_eviction_forgets_old_requests(tracer, clock):
+    monitor = SloMonitor(
+        tracer,
+        [SloObjective(tenant="t0", objective=0.9, window_seconds=10.0, min_events=1)],
+    )
+    _complete_request(tracer, clock, "t0", ok=False)
+    clock.advance(100.0)  # the bad request ages out of the window
+    _complete_request(tracer, clock, "t0", ok=True)
+    assert monitor.burn_rate("t0") == pytest.approx(0.0)
+    monitor.detach()
+
+
+def test_monitor_ignores_foreign_tenants_and_system_traces(tracer, clock):
+    monitor = SloMonitor(
+        tracer, [SloObjective(tenant="t0", objective=0.9, min_events=1)]
+    )
+    _complete_request(tracer, clock, "other-tenant", ok=False)
+    ctx = tracer.start("failover", kind="system", tenant="t0")
+    clock.advance(0.1)
+    ctx.finish("failed")
+    assert monitor.alerts == []
+    monitor.detach()
+
+
+# -- flight recorder -------------------------------------------------------
+
+
+def test_flight_recorder_ring_and_fault_trigger(tracer, clock):
+    recorder = FlightRecorder(tracer, capacity=3)
+    for index in range(5):
+        ctx = tracer.start("req", tenant="t0", seq=index)
+        clock.advance(1.0)
+        ctx.finish("ok")
+    assert len(recorder.last()) == 3  # ring kept only the newest 3
+    assert recorder.last(1)[0].attrs["seq"] == 4
+    assert recorder.dumps == []
+    tracer.instant("fault.host_crash", target="h0")
+    assert recorder.triggers_seen == 1
+    assert len(recorder.dumps) == 1
+    dump = recorder.dumps[0]
+    assert dump["trigger"]["name"] == "fault.host_crash"
+    assert [t["attrs"]["seq"] for t in dump["traces"]] == [2, 3, 4]
+    # Non-matching instants don't snapshot.
+    tracer.instant("slo.clear", tenant="t0")
+    assert len(recorder.dumps) == 1
+    recorder.detach()
+
+
+def test_flight_recorder_caps_dump_count(tracer, clock):
+    recorder = FlightRecorder(tracer, capacity=2, max_dumps=2)
+    for _ in range(4):
+        tracer.instant("fault.disk_fail", target="d0")
+    assert recorder.triggers_seen == 4
+    assert len(recorder.dumps) == 2
+    recorder.detach()
+
+
+def test_recorder_before_monitor_captures_triggering_trace(tracer, clock):
+    recorder = FlightRecorder(tracer, capacity=4)
+    monitor = SloMonitor(
+        tracer, [SloObjective(tenant="t0", objective=0.9, min_events=1)]
+    )
+    _complete_request(tracer, clock, "t0", ok=False)
+    # The bad trace itself must already be in the dumped ring.
+    assert len(recorder.dumps) == 1
+    assert recorder.dumps[0]["trigger"]["name"] == "slo.alert"
+    assert recorder.dumps[0]["traces"][-1]["status"] == "failed"
+    monitor.detach()
+    recorder.detach()
+
+
+# -- exporters -------------------------------------------------------------
+
+
+def _finished_trace(tracer, clock):
+    ctx = tracer.start("req", tenant="t0", size=4096)
+    clock.advance(1.0)
+    ctx.phase("queue_wait")
+    ctx.event("admission", depth=2)
+    clock.advance(0.5)
+    ctx.phase("transfer")
+    ctx.finish("ok")
+    return ctx
+
+
+def test_trace_to_dict_and_jsonl_are_canonical(tracer, clock):
+    ctx = _finished_trace(tracer, clock)
+    payload = trace_to_dict(ctx)
+    assert payload["latency"] == pytest.approx(1.5)
+    assert list(payload["attrs"]) == sorted(payload["attrs"])
+    line = export_trace_jsonl([ctx])
+    parsed = json.loads(line)
+    assert parsed["trace_id"] == ctx.trace_id
+    # Canonical form: re-dumping with the same options is a fixpoint.
+    assert json.dumps(parsed, sort_keys=True, separators=(",", ":")) == line
+
+
+def test_chrome_trace_export_schema(tracer, clock):
+    _finished_trace(tracer, clock)
+    tracer.instant("fault.host_crash", target="h0")
+    document = json.loads(export_chrome_trace(tracer.completed, tracer.instants))
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    assert isinstance(events, list) and events
+    for event in events:
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            assert key in event, f"missing {key!r} in {event}"
+        assert event["ph"] in ("M", "X", "i")
+        if event["ph"] == "X":
+            assert "dur" in event and event["dur"] >= 0.0
+        if event["ph"] == "i":
+            assert event["s"] in ("t", "g")
+    # Process metadata names the system lane and each tenant lane.
+    names = {
+        e["args"]["name"] for e in events if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {"system", "tenant:t0"}
+    # Phase slices nest inside their request's complete event.
+    request = next(e for e in events if e["ph"] == "X" and e["cat"] == "request")
+    for phase in (e for e in events if e["ph"] == "X" and e["cat"] == "phase"):
+        assert phase["ts"] >= request["ts"]
+        assert phase["ts"] + phase["dur"] <= request["ts"] + request["dur"] + 1e-6
+
+
+def test_chrome_trace_microsecond_timestamps(tracer, clock):
+    ctx = _finished_trace(tracer, clock)
+    events = chrome_trace_events([ctx])
+    request = next(e for e in events if e["ph"] == "X" and e["cat"] == "request")
+    assert request["ts"] == pytest.approx(ctx.start * 1e6)
+    assert request["dur"] == pytest.approx(ctx.latency * 1e6)
+
+
+# -- histogram export sanity (satellite: exact max/sum + overflow) ---------
+
+
+def test_histogram_reports_overflow_and_exact_extremes():
+    histogram = Histogram("lat", bounds=[1.0, 2.0, 4.0])
+    for value in (0.5, 1.5, 3.0, 10.0, 50.0):
+        histogram.observe(value)
+    dump = histogram.as_dict()
+    assert dump["overflow"] == 2  # 10.0 and 50.0 beyond the last edge
+    assert dump["sum"] == pytest.approx(65.0)
+    assert dump["min"] == 0.5
+    assert dump["max"] == 50.0
+    # Bucket-derived percentiles can never exceed the true max.
+    assert dump["p99"] <= dump["max"]
+    assert dump["p50"] <= dump["max"]
+
+
+def test_histogram_overflow_zero_when_all_in_range():
+    histogram = Histogram("lat", bounds=[1.0, 2.0])
+    histogram.observe(0.5)
+    assert histogram.overflow == 0
+    assert histogram.as_dict()["overflow"] == 0
