@@ -1,12 +1,20 @@
 #!/usr/bin/env python
-"""Run the determinism linter (and mypy, when available) over the tree.
+"""Run the repro linter (and mypy, when available) over the tree.
 
-Exit status is nonzero when any unsuppressed finding or type error is
-reported, so this doubles as the CI gate
-(``tests/test_static_analysis_clean.py`` runs the same checks inside
-the default pytest run).  The mypy pass applies the pyproject strict
-profile to ``repro.sim``, ``repro.analysis``, ``repro.obs`` and
-``repro.gateway``.
+The linter applies all three rule families — determinism (DET), units
+(UNIT) and sim-process protocol (PROC).  Exit status is nonzero when
+any unsuppressed finding or type error is reported, so this doubles as
+the CI gate (``tests/test_static_analysis_clean.py`` runs the same
+checks inside the default pytest run).  The mypy pass applies the
+pyproject strict profile to ``repro.sim``, ``repro.analysis``,
+``repro.obs``, ``repro.power``, ``repro.fabric`` and ``repro.gateway``.
+
+After the human-readable report the script emits one machine-readable
+``lint-summary: {...}`` line (rule -> finding/suppression counts), and
+default-path runs gate inline-suppression growth against the committed
+``LINT_BASELINE.json``: a rule whose suppression count exceeds the
+baseline fails the run until the waiver is justified and the baseline
+regenerated with ``--update-baseline``.
 
 Default-path invocations also run a perf smoke: the ``alloc_scale``,
 ``kernel_throughput`` and ``gateway`` benchmarks at their smoke sizes,
@@ -22,6 +30,7 @@ Usage::
     python scripts/run_static_analysis.py --no-mypy     # linter only
     python scripts/run_static_analysis.py --no-perf     # skip perf smoke
     python scripts/run_static_analysis.py --audit       # list suppressions
+    python scripts/run_static_analysis.py --update-baseline  # accept suppressions
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ GATEWAY_TRACING_OFF_FACTOR = 1.1
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
+LINT_BASELINE = REPO_ROOT / "LINT_BASELINE.json"
 
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
@@ -66,6 +76,56 @@ def run_mypy(paths: List[str]) -> int:
     ]
     completed = subprocess.run(command, cwd=REPO_ROOT)
     return completed.returncode
+
+
+def print_lint_summary(report) -> None:
+    """One machine-readable line: rule -> finding/suppression counts."""
+    data = report.to_dict()
+    summary = {
+        "files_checked": data["files_checked"],
+        "by_rule": data["by_rule"],
+        "suppressed_by_rule": data["suppressed_by_rule"],
+    }
+    print("lint-summary: " + json.dumps(summary, sort_keys=True))
+
+
+def check_lint_baseline(report, update: bool, baseline_path: Path = LINT_BASELINE) -> int:
+    """Gate inline-suppression growth against the committed baseline.
+
+    Unsuppressed findings already fail the run outright, so this gate
+    watches the other escape hatch: a rule whose ``# repro-lint:
+    ignore[...]`` count exceeds the committed baseline fails until the
+    waiver is justified in review and the baseline regenerated with
+    ``--update-baseline``.  Shrinking counts pass (and suggest a
+    baseline refresh); a missing baseline file skips the gate loudly.
+    """
+    current = report.suppressed_by_rule()
+    if update:
+        baseline_path.write_text(
+            json.dumps({"suppressed_by_rule": current}, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"lint-baseline: wrote {baseline_path.name}")
+        return 0
+    if not baseline_path.exists():
+        print(f"lint-baseline: {baseline_path.name} missing, gate skipped")
+        return 0
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8")).get(
+        "suppressed_by_rule", {}
+    )
+    status = 0
+    for rule_id in sorted(current):
+        allowed = int(baseline.get(rule_id, 0))
+        if current[rule_id] > allowed:
+            print(
+                f"lint-baseline: {rule_id}: {current[rule_id]} suppression(s) "
+                f"exceeds committed baseline of {allowed} — justify the waiver "
+                f"and rerun with --update-baseline"
+            )
+            status = 1
+    if status == 0:
+        print("lint-baseline: OK")
+    return status
 
 
 def _baseline_alloc_16(history: List[Dict]) -> Optional[Dict]:
@@ -185,13 +245,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--no-perf", action="store_true", help="skip the perf smoke benchmarks"
     )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite LINT_BASELINE.json from the current suppression counts",
+    )
     args = parser.parse_args(argv)
 
     paths = args.paths or [str(SRC / "repro")]
     report = Linter().lint_paths(paths)
     print(report.render(audit=args.audit))
+    print_lint_summary(report)
 
     status = 0 if report.ok else 1
+    # The suppression baseline guards the default tree, not arbitrary paths.
+    if not args.paths:
+        if check_lint_baseline(report, update=args.update_baseline) != 0:
+            status = 1
     if not args.no_mypy:
         mypy_status = run_mypy(paths)
         if mypy_status != 0:

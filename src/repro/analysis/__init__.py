@@ -3,9 +3,12 @@
 Two layers keep "same seeds => same replay" an enforced property rather
 than a hope:
 
-* :mod:`repro.analysis.lint` — an AST linter whose rules flag
-  determinism hazards (global ``random``, wall-clock reads, set-order
-  scheduling, mutable defaults) before they reach a simulation;
+* :mod:`repro.analysis.lint` — an AST linter with three rule families:
+  determinism hazards (``DET001``–``DET005``: global ``random``,
+  wall-clock reads, set-order scheduling, mutable defaults),
+  dimensional consistency over the :mod:`repro.units` vocabulary
+  (``UNIT001``–``UNIT006``), and sim-process generator protocol
+  (``PROC001``–``PROC004``);
 * :mod:`repro.analysis.races` — a runtime same-timestamp race detector
   the kernel drives when constructed with ``Simulator(detect_races=True)``.
 
@@ -15,22 +18,34 @@ Run the static pass with ``python -m repro lint`` or
 """
 
 from repro.analysis.findings import Finding, Severity, Suppression
-from repro.analysis.lint import LintConfig, LintReport, Linter, lint_paths
+from repro.analysis.lint import (
+    DEFAULT_RULES,
+    LintConfig,
+    LintReport,
+    Linter,
+    all_rule_ids,
+    lint_paths,
+)
+from repro.analysis.proc import PROC_RULES
 from repro.analysis.races import Race, RaceDetector
-from repro.analysis.rules import DEFAULT_RULES, ModuleContext, Rule, all_rule_ids
+from repro.analysis.rules import DETERMINISM_RULES, ModuleContext, Rule
+from repro.analysis.units import UNIT_RULES
 
 __all__ = [
     "DEFAULT_RULES",
+    "DETERMINISM_RULES",
     "Finding",
     "LintConfig",
     "LintReport",
     "Linter",
     "ModuleContext",
+    "PROC_RULES",
     "Race",
     "RaceDetector",
     "Rule",
     "Severity",
     "Suppression",
+    "UNIT_RULES",
     "all_rule_ids",
     "lint_paths",
 ]

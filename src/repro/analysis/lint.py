@@ -23,9 +23,27 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.findings import Finding, Suppression
-from repro.analysis.rules import DEFAULT_RULES, ModuleContext, Rule
+from repro.analysis.proc import PROC_RULES
+from repro.analysis.rules import DETERMINISM_RULES, ModuleContext, Rule
+from repro.analysis.units import UNIT_RULES
 
-__all__ = ["LintConfig", "LintReport", "Linter", "lint_paths"]
+__all__ = [
+    "DEFAULT_RULES",
+    "LintConfig",
+    "LintReport",
+    "Linter",
+    "all_rule_ids",
+    "lint_paths",
+]
+
+#: The full default rule set: determinism, dimensional consistency,
+#: sim-process protocol.  Composed here (not in rules.py) so the rule
+#: family modules can all import the Rule base without cycles.
+DEFAULT_RULES: Tuple[Rule, ...] = DETERMINISM_RULES + UNIT_RULES + PROC_RULES
+
+
+def all_rule_ids(rules: Sequence[Rule] = DEFAULT_RULES) -> List[str]:
+    return [rule.rule_id for rule in rules]
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_,\s\-]+)\]")
 
@@ -69,6 +87,44 @@ class LintReport:
         for finding in self.findings:
             counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
         return counts
+
+    def suppressed_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for suppression in self.suppressed:
+            counts[suppression.rule_id] = counts.get(suppression.rule_id, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form for ``repro lint --json`` and CI."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [
+                {
+                    "file": f.file,
+                    "line": f.line,
+                    "rule": f.rule_id,
+                    "severity": f.severity.value,
+                    "message": f.message,
+                }
+                for f in sorted(self.findings)
+            ],
+            "suppressed": [
+                {
+                    "file": s.file,
+                    "line": s.line,
+                    "rule": s.rule_id,
+                    "message": s.message,
+                }
+                for s in sorted(self.suppressed)
+            ],
+            "parse_errors": [
+                {"file": f.file, "line": f.line, "message": f.message}
+                for f in sorted(self.parse_errors)
+            ],
+            "by_rule": self.by_rule(),
+            "suppressed_by_rule": self.suppressed_by_rule(),
+        }
 
     def render(self, audit: bool = False) -> str:
         lines: List[str] = []

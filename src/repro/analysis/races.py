@@ -33,11 +33,22 @@ class Race:
     resource: str
     seqs: Tuple[int, ...]  # insertion sequence numbers of the events
     writes: int  # how many of the touches were writes
+    # Human-readable event descriptions aligned with ``seqs`` (e.g.
+    # ``"resume:writer"``), supplied by the kernel via ``begin_event``.
+    # Empty when the detector is driven without labels.
+    labels: Tuple[str, ...] = ()
 
     def render(self) -> str:
+        if self.labels:
+            events = ", ".join(
+                f"{seq}={label}" if label else str(seq)
+                for seq, label in zip(self.seqs, self.labels)
+            )
+        else:
+            events = ", ".join(map(str, self.seqs))
         return (
             f"t={self.time:g} prio={self.priority}: {len(self.seqs)} events "
-            f"(seq {', '.join(map(str, self.seqs))}) touched {self.resource!r} "
+            f"(seq {events}) touched {self.resource!r} "
             f"with {self.writes} write(s); order decided only by insertion"
         )
 
@@ -48,25 +59,25 @@ class RaceDetector:
 
     def __init__(self) -> None:
         self._bucket_key: Optional[Tuple[float, int]] = None
-        # Per event in the current bucket: (seq, resource -> any_write).
-        self._bucket: List[Tuple[int, Dict[str, bool]]] = []
-        self._current: Optional[Tuple[int, Dict[str, bool]]] = None
+        # Per event in the current bucket: (seq, label, resource -> any_write).
+        self._bucket: List[Tuple[int, str, Dict[str, bool]]] = []
+        self._current: Optional[Tuple[int, str, Dict[str, bool]]] = None
         self.races: List[Race] = []
 
     # -- kernel hooks -------------------------------------------------------
 
-    def begin_event(self, time: float, priority: int, seq: int) -> None:
+    def begin_event(self, time: float, priority: int, seq: int, label: str = "") -> None:
         key = (time, priority)
         if key != self._bucket_key:
             self._flush()
             self._bucket_key = key
-        self._current = (seq, {})
+        self._current = (seq, label, {})
 
     def touch(self, resource: str, write: bool = True) -> None:
         """Record that the currently running event touched ``resource``."""
         if self._current is None:
             return  # touch from setup code outside event processing
-        touches = self._current[1]
+        touches = self._current[2]
         touches[resource] = touches.get(resource, False) or write
 
     def end_event(self) -> None:
@@ -78,18 +89,18 @@ class RaceDetector:
 
     @staticmethod
     def _analyze(
-        key: Tuple[float, int], bucket: List[Tuple[int, Dict[str, bool]]]
+        key: Tuple[float, int], bucket: List[Tuple[int, str, Dict[str, bool]]]
     ) -> List[Race]:
         if len(bucket) < 2:
             return []
-        by_resource: Dict[str, List[Tuple[int, bool]]] = {}
-        for seq, touches in bucket:
+        by_resource: Dict[str, List[Tuple[int, str, bool]]] = {}
+        for seq, label, touches in bucket:
             for resource, wrote in touches.items():
-                by_resource.setdefault(resource, []).append((seq, wrote))
+                by_resource.setdefault(resource, []).append((seq, label, wrote))
         races: List[Race] = []
         for resource in sorted(by_resource):
             touches_list = by_resource[resource]
-            writes = sum(1 for _, wrote in touches_list if wrote)
+            writes = sum(1 for _, _, wrote in touches_list if wrote)
             # Read/read overlap is benign; a conflict needs >= 2 events
             # and at least one writer.
             if len(touches_list) >= 2 and writes >= 1:
@@ -98,8 +109,9 @@ class RaceDetector:
                         time=key[0],
                         priority=key[1],
                         resource=resource,
-                        seqs=tuple(seq for seq, _ in touches_list),
+                        seqs=tuple(seq for seq, _, _ in touches_list),
                         writes=writes,
+                        labels=tuple(label for _, label, _ in touches_list),
                     )
                 )
         return races

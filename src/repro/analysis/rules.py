@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, Sequence, Set, Tuple
 
 from repro.analysis.findings import Finding, Severity
 
 __all__ = [
-    "DEFAULT_RULES",
+    "DETERMINISM_RULES",
     "DirectRandomRule",
     "ModuleContext",
     "MutableDefaultRule",
@@ -36,7 +36,6 @@ __all__ = [
     "Rule",
     "SetOrderRule",
     "WallClockRule",
-    "all_rule_ids",
 ]
 
 
@@ -479,14 +478,10 @@ class RandomShadowRule(Rule):
                 yield node.id
 
 
-DEFAULT_RULES: Tuple[Rule, ...] = (
+DETERMINISM_RULES: Tuple[Rule, ...] = (
     DirectRandomRule(),
     WallClockRule(),
     SetOrderRule(),
     MutableDefaultRule(),
     RandomShadowRule(),
 )
-
-
-def all_rule_ids(rules: Sequence[Rule] = DEFAULT_RULES) -> List[str]:
-    return [rule.rule_id for rule in rules]

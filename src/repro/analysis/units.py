@@ -1,0 +1,814 @@
+"""Dimensional-consistency lint over :mod:`repro.units` annotations.
+
+The checker runs a conservative AST dataflow per function: dimensions
+seed from parameter/attribute/return annotations naming the
+:mod:`repro.units` vocabulary (``Watts``, ``Joules``, ``Bytes``,
+``BytesPerSec``, ``MBps``, ``SimSeconds``), from calls to the units
+constructors and conversion helpers, and from a unit-suffix naming
+convention (``budget_watts``, ``energy_joules``, ...).  Dimensions
+propagate through assignments and arithmetic with a small algebra
+(``Watts * SimSeconds -> Joules``, ``Bytes / SimSeconds ->
+BytesPerSec``, ...); anything the algebra cannot prove stays *unknown*
+and never produces a finding — the checker only speaks when two
+*known* dimensions contradict.
+
+Rules:
+
+* ``UNIT001`` — additive mixing: ``+``/``-`` (or ``min``/``max``)
+  between values of incompatible dimensions;
+* ``UNIT002`` — comparison between values of incompatible dimensions;
+* ``UNIT003`` — a value whose derived dimension contradicts the
+  declared annotation it is assigned or returned into;
+* ``UNIT004`` — boundary crossing: an argument of one dimension passed
+  to a parameter declared with an incompatible dimension (the classic
+  unconverted ``MBps`` -> ``BytesPerSec`` handoff);
+* ``UNIT005`` — a byte-scale magic literal (``1e6``, ``1024 * 1024``,
+  ``1 << 20``, ...) multiplied into dimensioned arithmetic instead of
+  the declared :mod:`repro.units` constants or conversion helpers;
+* ``UNIT006`` — a unit-suffixed name (``..._watts``) bound to a value
+  of a contradicting derived dimension.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import ModuleContext, Rule
+
+__all__ = [
+    "UNIT_RULES",
+    "Dim",
+    "UnitAdditiveMixRule",
+    "UnitAnnotationContradictionRule",
+    "UnitBoundaryCrossingRule",
+    "UnitComparisonMixRule",
+    "UnitMagicLiteralRule",
+    "UnitNameContradictionRule",
+]
+
+
+class Dim(enum.Enum):
+    """The dimension lattice: real units plus a dimensionless scalar."""
+
+    WATTS = "Watts"
+    JOULES = "Joules"
+    BYTES = "Bytes"
+    BYTES_PER_SEC = "BytesPerSec"
+    MBPS = "MBps"
+    SECONDS = "SimSeconds"
+    SCALAR = "scalar"
+
+    @property
+    def is_unit(self) -> bool:
+        return self is not Dim.SCALAR
+
+
+#: Annotation name -> dimension (matches bare names, ``units.X``
+#: attributes and quoted forward references).
+_ANNOTATION_DIMS: Dict[str, Dim] = {
+    "Watts": Dim.WATTS,
+    "Joules": Dim.JOULES,
+    "Bytes": Dim.BYTES,
+    "BytesPerSec": Dim.BYTES_PER_SEC,
+    "MBps": Dim.MBPS,
+    "SimSeconds": Dim.SECONDS,
+}
+
+#: Unit-suffix naming convention, checked longest-suffix-first.  A name
+#: matches when it *is* the suffix (sans leading underscore) or ends
+#: with it.
+_SUFFIX_DIMS: Tuple[Tuple[str, Dim], ...] = (
+    ("_bytes_per_second", Dim.BYTES_PER_SEC),
+    ("_bytes_per_s", Dim.BYTES_PER_SEC),
+    ("_mb_per_second", Dim.MBPS),
+    ("_mbps", Dim.MBPS),
+    ("_watts", Dim.WATTS),
+    ("_joules", Dim.JOULES),
+    ("_bytes", Dim.BYTES),
+    ("_seconds", Dim.SECONDS),
+)
+
+#: Calls whose result dimension is known: the units constructors (a
+#: cast) and the sanctioned conversion helpers.
+_CALL_RESULT_DIMS: Dict[str, Optional[Dim]] = {
+    "Watts": Dim.WATTS,
+    "Joules": Dim.JOULES,
+    "Bytes": Dim.BYTES,
+    "BytesPerSec": Dim.BYTES_PER_SEC,
+    "MBps": Dim.MBPS,
+    "SimSeconds": Dim.SECONDS,
+    "watt_seconds": Dim.JOULES,
+    "joules_to_watts": Dim.WATTS,
+    "bytes_per_sec_to_mbps": Dim.MBPS,
+    "mbps_to_bytes_per_sec": Dim.BYTES_PER_SEC,
+    "bytes_to_mb": Dim.SCALAR,
+    "mb_to_bytes": Dim.BYTES,
+}
+
+#: Declared scale-constant names: dimensionless pure scale factors.
+_SCALE_CONSTANTS = {"KB", "MB", "GB", "TB", "KiB", "MiB", "GiB", "TiB"}
+
+#: Byte-scale magic values UNIT005 hunts for when multiplied into
+#: dimensioned arithmetic.
+_MAGIC_BYTE_SCALES = {
+    1_000,
+    1_000_000,
+    1_000_000_000,
+    1_000_000_000_000,
+    1 << 10,
+    1 << 20,
+    1 << 30,
+    1 << 40,
+}
+
+#: Dimension algebra: (left, right) -> product dimension.
+_MULT_TABLE: Dict[Tuple[Dim, Dim], Dim] = {
+    (Dim.WATTS, Dim.SECONDS): Dim.JOULES,
+    (Dim.SECONDS, Dim.WATTS): Dim.JOULES,
+    (Dim.BYTES_PER_SEC, Dim.SECONDS): Dim.BYTES,
+    (Dim.SECONDS, Dim.BYTES_PER_SEC): Dim.BYTES,
+}
+
+#: (numerator, denominator) -> quotient dimension.
+_DIV_TABLE: Dict[Tuple[Dim, Dim], Dim] = {
+    (Dim.JOULES, Dim.SECONDS): Dim.WATTS,
+    (Dim.JOULES, Dim.WATTS): Dim.SECONDS,
+    (Dim.BYTES, Dim.SECONDS): Dim.BYTES_PER_SEC,
+    (Dim.BYTES, Dim.BYTES_PER_SEC): Dim.SECONDS,
+}
+
+
+def name_suffix_dim(name: str) -> Optional[Dim]:
+    """Dimension implied by a unit-suffixed identifier, if any."""
+    for suffix, dim in _SUFFIX_DIMS:
+        if name == suffix[1:] or name.endswith(suffix):
+            return dim
+    return None
+
+
+def annotation_dim(node: Optional[ast.expr]) -> Optional[Dim]:
+    """Dimension named by an annotation expression, if any.
+
+    Unwraps ``Optional[...]`` / ``Final[...]`` and quoted forward
+    references; anything else unrecognized is *unknown* (``None``).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _ANNOTATION_DIMS.get(node.value.strip())
+    if isinstance(node, ast.Name):
+        return _ANNOTATION_DIMS.get(node.id)
+    if isinstance(node, ast.Attribute):
+        return _ANNOTATION_DIMS.get(node.attr)
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+        if base_name in {"Optional", "Final"}:
+            return annotation_dim(node.slice)
+    return None
+
+
+def _const_value(node: ast.expr) -> Optional[float]:
+    """Fold a literal-only numeric expression, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _const_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.BinOp):
+        left = _const_value(node.left)
+        right = _const_value(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Div):
+                return left / right
+            if isinstance(node.op, ast.Pow):
+                return float(left**right)
+            if isinstance(node.op, ast.LShift):
+                return float(int(left) << int(right))
+        except (OverflowError, ValueError, ZeroDivisionError):
+            return None
+    return None
+
+
+def _is_magic_byte_scale(node: ast.expr) -> bool:
+    value = _const_value(node)
+    return value is not None and value in _MAGIC_BYTE_SCALES
+
+
+@dataclass
+class _DeclaredSignature:
+    """Parameter dimensions of a module-local callable."""
+
+    params: List[Tuple[str, Optional[Dim]]]  # positional order, self stripped
+    by_name: Dict[str, Dim]
+
+
+@dataclass
+class _ModuleInfo:
+    """Module-wide dimension declarations gathered in one pre-pass."""
+
+    globals_: Dict[str, Dim] = field(default_factory=dict)
+    # class name -> attr name -> dim (AnnAssign fields + property returns)
+    class_attrs: Dict[str, Dict[str, Dim]] = field(default_factory=dict)
+    # function return dims: "fn" and "Class.fn"
+    returns: Dict[str, Dim] = field(default_factory=dict)
+    # callable signatures: "fn", "Class.fn", and "Class" (the __init__)
+    signatures: Dict[str, _DeclaredSignature] = field(default_factory=dict)
+
+
+@dataclass
+class _UnitFinding:
+    rule_id: str
+    node: ast.AST
+    message: str
+
+
+def _signature_of(func: ast.FunctionDef) -> _DeclaredSignature:
+    args = func.args
+    params: List[Tuple[str, Optional[Dim]]] = []
+    by_name: Dict[str, Dim] = {}
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in {"self", "cls"}:
+        positional = positional[1:]
+    for arg in positional:
+        dim = annotation_dim(arg.annotation)
+        if dim is None and arg.annotation is not None:
+            # Suffix convention only applies to *annotated* params — an
+            # unannotated def gives the checker no contract to enforce.
+            dim = name_suffix_dim(arg.arg)
+        params.append((arg.arg, dim))
+        if dim is not None:
+            by_name[arg.arg] = dim
+    for arg in args.kwonlyargs:
+        dim = annotation_dim(arg.annotation)
+        if dim is None and arg.annotation is not None:
+            dim = name_suffix_dim(arg.arg)
+        if dim is not None:
+            by_name[arg.arg] = dim
+    return _DeclaredSignature(params=params, by_name=by_name)
+
+
+def _collect_module_info(tree: ast.Module) -> _ModuleInfo:
+    info = _ModuleInfo()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            dim = annotation_dim(stmt.annotation)
+            if dim is not None:
+                info.globals_[stmt.target.id] = dim
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Call):
+                func = stmt.value.func
+                name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+                dim = _CALL_RESULT_DIMS.get(name)
+                if dim is not None and dim.is_unit:
+                    info.globals_[target.id] = dim
+        elif isinstance(stmt, ast.FunctionDef):
+            dim = annotation_dim(stmt.returns)
+            if dim is not None:
+                info.returns[stmt.name] = dim
+            info.signatures[stmt.name] = _signature_of(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            attrs: Dict[str, Dim] = {}
+            for sub in stmt.body:
+                if isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                    dim = annotation_dim(sub.annotation)
+                    if dim is not None:
+                        attrs[sub.target.id] = dim
+                elif isinstance(sub, ast.FunctionDef):
+                    qual = f"{stmt.name}.{sub.name}"
+                    dim = annotation_dim(sub.returns)
+                    if dim is not None:
+                        info.returns[qual] = dim
+                        if any(
+                            isinstance(dec, ast.Name) and dec.id == "property"
+                            for dec in sub.decorator_list
+                        ):
+                            attrs[sub.name] = dim
+                    info.signatures[qual] = _signature_of(sub)
+                    if sub.name == "__init__":
+                        info.signatures[stmt.name] = info.signatures[qual]
+            if attrs:
+                info.class_attrs[stmt.name] = attrs
+    return info
+
+
+class _FunctionChecker:
+    """One dataflow pass over a single function body."""
+
+    def __init__(
+        self,
+        func: ast.FunctionDef,
+        info: _ModuleInfo,
+        class_name: Optional[str],
+        findings: List[_UnitFinding],
+    ) -> None:
+        self.func = func
+        self.info = info
+        self.class_name = class_name
+        self.findings = findings
+        self.env: Dict[str, Dim] = {}
+        self.self_attrs: Dict[str, Dim] = dict(
+            info.class_attrs.get(class_name or "", {})
+        )
+        self.return_dim = annotation_dim(func.returns)
+        self._seed_params()
+
+    # -- environment -------------------------------------------------------
+
+    def _seed_params(self) -> None:
+        args = self.func.args
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in every:
+            dim = annotation_dim(arg.annotation)
+            if dim is None and arg.annotation is not None:
+                dim = name_suffix_dim(arg.arg)
+            if dim is not None:
+                self.env[arg.arg] = dim
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.findings.append(_UnitFinding(rule_id, node, message))
+
+    # -- inference ---------------------------------------------------------
+
+    def infer(self, node: ast.expr) -> Optional[Dim]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return Dim.SCALAR
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in _SCALE_CONSTANTS:
+                return Dim.SCALAR
+            if node.id in self.info.globals_:
+                return self.info.globals_[node.id]
+            return None
+        if isinstance(node, ast.Attribute):
+            if node.attr in _SCALE_CONSTANTS:
+                return Dim.SCALAR
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if node.attr in self.self_attrs:
+                    return self.self_attrs[node.attr]
+            return name_suffix_dim(node.attr)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand)
+        if isinstance(node, ast.IfExp):
+            then = self.infer(node.body)
+            other = self.infer(node.orelse)
+            if then is not None and other is not None and then is not other:
+                return None
+            return then if then is not None else other
+        if isinstance(node, ast.Compare):
+            return Dim.SCALAR
+        return None
+
+    def _callee_name(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+    def _callee_qualnames(self, node: ast.Call) -> List[str]:
+        """Keys under which the callee may be declared in this module."""
+        func = node.func
+        keys: List[str] = []
+        if isinstance(func, ast.Name):
+            keys.append(func.id)
+        elif isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and self.class_name
+            ):
+                keys.append(f"{self.class_name}.{func.attr}")
+            keys.append(func.attr)
+        return keys
+
+    def _infer_call(self, node: ast.Call) -> Optional[Dim]:
+        name = self._callee_name(node)
+        if name in _CALL_RESULT_DIMS:
+            return _CALL_RESULT_DIMS[name]
+        if name in {"abs", "float", "int"} and len(node.args) == 1:
+            return self.infer(node.args[0])
+        if name in {"min", "max"}:
+            dims = [self.infer(arg) for arg in node.args]
+            units = [d for d in dims if d is not None and d.is_unit]
+            if len({d for d in units}) > 1:
+                self._report(
+                    "UNIT001",
+                    node,
+                    f"{name}() mixes incompatible dimensions "
+                    f"({', '.join(sorted(d.value for d in set(units)))})",
+                )
+                return None
+            if units and all(d is not None for d in dims):
+                return units[0]
+            return None
+        for key in self._callee_qualnames(node):
+            if key in self.info.returns:
+                return self.info.returns[key]
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> Optional[Dim]:
+        left = self.infer(node.left)
+        right = self.infer(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            return self._combine_additive(node, left, right)
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                if (left, right) in _MULT_TABLE:
+                    return _MULT_TABLE[(left, right)]
+                if left is Dim.SCALAR:
+                    return right
+                if right is Dim.SCALAR:
+                    return left
+            # MBps * MB (the declared scale) converts back to bytes/s.
+            if left is Dim.MBPS and self._is_mb_constant(node.right):
+                return Dim.BYTES_PER_SEC
+            return None
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                if (left, right) in _DIV_TABLE:
+                    return _DIV_TABLE[(left, right)]
+                if left is right:
+                    return Dim.SCALAR
+                if right is Dim.SCALAR:
+                    return left
+            if left is Dim.BYTES_PER_SEC and self._is_mb_constant(node.right):
+                return Dim.MBPS
+            return None
+        return None
+
+    @staticmethod
+    def _is_mb_constant(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "MB"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "MB"
+        return False
+
+    def _combine_additive(
+        self, node: ast.AST, left: Optional[Dim], right: Optional[Dim]
+    ) -> Optional[Dim]:
+        if (
+            left is not None
+            and right is not None
+            and left.is_unit
+            and right.is_unit
+            and left is not right
+        ):
+            self._report(
+                "UNIT001",
+                node,
+                f"additive arithmetic mixes {left.value} with {right.value}; "
+                "convert through repro.units first",
+            )
+            return None
+        if left is not None and left.is_unit:
+            return left
+        if right is not None and right.is_unit:
+            return right
+        if left is Dim.SCALAR and right is Dim.SCALAR:
+            return Dim.SCALAR
+        return None
+
+    # -- statement walk ----------------------------------------------------
+
+    def check(self) -> None:
+        for stmt in self.func.body:
+            self._check_stmt(stmt)
+
+    def _check_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes are visited independently
+        if isinstance(stmt, ast.Assign):
+            value_dim = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, value_dim, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = annotation_dim(stmt.annotation)
+            if stmt.value is not None:
+                value_dim = self.infer(stmt.value)
+                if (
+                    declared is not None
+                    and value_dim is not None
+                    and declared.is_unit
+                    and value_dim.is_unit
+                    and declared is not value_dim
+                ):
+                    self._report(
+                        "UNIT003",
+                        stmt,
+                        f"value of dimension {value_dim.value} assigned to a "
+                        f"target declared {declared.value}",
+                    )
+                if isinstance(stmt.target, ast.Name):
+                    self.env[stmt.target.id] = (
+                        declared if declared is not None else value_dim
+                    ) or self.env.get(stmt.target.id, Dim.SCALAR)
+            elif declared is not None and isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = declared
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                target_dim = self.infer(stmt.target)
+                value_dim = self.infer(stmt.value)
+                if (
+                    target_dim is not None
+                    and value_dim is not None
+                    and target_dim.is_unit
+                    and value_dim.is_unit
+                    and target_dim is not value_dim
+                ):
+                    self._report(
+                        "UNIT001",
+                        stmt,
+                        f"augmented arithmetic mixes {target_dim.value} with "
+                        f"{value_dim.value}; convert through repro.units first",
+                    )
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            value_dim = self.infer(stmt.value)
+            if (
+                self.return_dim is not None
+                and value_dim is not None
+                and self.return_dim.is_unit
+                and value_dim.is_unit
+                and value_dim is not self.return_dim
+            ):
+                self._report(
+                    "UNIT003",
+                    stmt,
+                    f"returns {value_dim.value} from a function declared "
+                    f"-> {self.return_dim.value}",
+                )
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._check_stmt(child)
+        self._check_expressions(stmt)
+
+    def _bind_target(
+        self, target: ast.expr, value_dim: Optional[Dim], stmt: ast.stmt
+    ) -> None:
+        if isinstance(target, ast.Name):
+            suffix = name_suffix_dim(target.id)
+            if (
+                suffix is not None
+                and value_dim is not None
+                and value_dim.is_unit
+                and suffix is not value_dim
+            ):
+                self._report(
+                    "UNIT006",
+                    stmt,
+                    f"name {target.id!r} implies {suffix.value} but is bound "
+                    f"to a {value_dim.value} value",
+                )
+            if value_dim is not None:
+                self.env[target.id] = value_dim
+            elif suffix is not None and target.id not in self.env:
+                self.env[target.id] = suffix
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            declared = self.self_attrs.get(target.attr)
+            if (
+                declared is not None
+                and value_dim is not None
+                and declared.is_unit
+                and value_dim.is_unit
+                and declared is not value_dim
+            ):
+                self._report(
+                    "UNIT003",
+                    stmt,
+                    f"value of dimension {value_dim.value} assigned to "
+                    f"self.{target.attr} declared {declared.value}",
+                )
+                return
+            suffix = name_suffix_dim(target.attr)
+            if (
+                declared is None
+                and suffix is not None
+                and value_dim is not None
+                and value_dim.is_unit
+                and suffix is not value_dim
+            ):
+                self._report(
+                    "UNIT006",
+                    stmt,
+                    f"attribute self.{target.attr} implies {suffix.value} but "
+                    f"is bound to a {value_dim.value} value",
+                )
+            if value_dim is not None and value_dim.is_unit:
+                self.self_attrs.setdefault(target.attr, value_dim)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, None, stmt)
+
+    def _check_expressions(self, stmt: ast.stmt) -> None:
+        """Expression-level rules on this statement's own expressions.
+
+        Nested statements are visited by their own ``_check_stmt`` call
+        and nested scopes by their own checker, so the walk stops at
+        both boundaries — otherwise every ancestor statement would
+        re-report the same expression.
+        """
+        stack: List[ast.AST] = [
+            child
+            for child in ast.iter_child_nodes(stmt)
+            if not isinstance(child, ast.stmt)
+        ]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue  # nested scope: handled independently
+            stack.extend(
+                child
+                for child in ast.iter_child_nodes(node)
+                if not isinstance(child, ast.stmt)
+            )
+            if isinstance(node, ast.BinOp):
+                # Inference reports UNIT001 on visit; here handle the
+                # rules that need the *operands*, not the result.
+                self._check_magic_literal(node)
+            elif isinstance(node, ast.Compare):
+                self._check_compare(node)
+            elif isinstance(node, ast.Call):
+                self._check_call_boundary(node)
+
+    def _check_magic_literal(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+            return
+        pairs = (
+            (node.left, node.right),
+            (node.right, node.left),
+        )
+        for dimensioned, literal in pairs:
+            if not _is_magic_byte_scale(literal):
+                continue
+            dim = self.infer(dimensioned)
+            if dim in {Dim.BYTES, Dim.BYTES_PER_SEC, Dim.MBPS}:
+                self._report(
+                    "UNIT005",
+                    node,
+                    f"byte-scale magic literal in {dim.value} arithmetic; use "
+                    "the repro.units constants (MB, MiB, ...) or a conversion "
+                    "helper",
+                )
+                return
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        dims = [self.infer(node.left)] + [self.infer(c) for c in node.comparators]
+        units = [d for d in dims if d is not None and d.is_unit]
+        distinct = {d for d in units}
+        if len(distinct) > 1:
+            self._report(
+                "UNIT002",
+                node,
+                "comparison mixes incompatible dimensions "
+                f"({', '.join(sorted(d.value for d in distinct))})",
+            )
+
+    def _check_call_boundary(self, node: ast.Call) -> None:
+        signature: Optional[_DeclaredSignature] = None
+        for key in self._callee_qualnames(node):
+            signature = self.info.signatures.get(key)
+            if signature is not None:
+                break
+        if signature is None:
+            return
+        checks: List[Tuple[ast.expr, Optional[Dim], str]] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred) or position >= len(signature.params):
+                break
+            param_name, param_dim = signature.params[position]
+            checks.append((arg, param_dim, param_name))
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in signature.by_name:
+                checks.append(
+                    (keyword.value, signature.by_name[keyword.arg], keyword.arg)
+                )
+        for arg, param_dim, param_name in checks:
+            if param_dim is None or not param_dim.is_unit:
+                continue
+            arg_dim = self.infer(arg)
+            if arg_dim is not None and arg_dim.is_unit and arg_dim is not param_dim:
+                self._report(
+                    "UNIT004",
+                    arg,
+                    f"argument of dimension {arg_dim.value} passed to "
+                    f"parameter {param_name!r} declared {param_dim.value}; "
+                    "convert through repro.units at the boundary",
+                )
+
+
+def _module_unit_findings(ctx: ModuleContext) -> List[_UnitFinding]:
+    """All UNIT findings for one module, computed once and cached."""
+    cached = getattr(ctx, "_unit_findings", None)
+    if cached is not None:
+        return cached
+    findings: List[_UnitFinding] = []
+    info = _collect_module_info(ctx.tree)
+
+    def visit(body: List[ast.stmt], class_name: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.FunctionDef):
+                _FunctionChecker(stmt, info, class_name, findings).check()
+                visit(stmt.body, None)
+            elif isinstance(stmt, ast.ClassDef):
+                visit(stmt.body, stmt.name)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                visit(list(ast.iter_child_nodes(stmt)), class_name)  # type: ignore[arg-type]
+
+    visit(ctx.tree.body, None)
+    ctx._unit_findings = findings  # type: ignore[attr-defined]
+    return findings
+
+
+class _UnitRule(Rule):
+    """Base for the UNIT family: filters the shared module analysis."""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for item in _module_unit_findings(ctx):
+            if item.rule_id == self.rule_id:
+                yield self.finding(ctx, item.node, item.message)
+
+
+class UnitAdditiveMixRule(_UnitRule):
+    """UNIT001: addition/subtraction across incompatible dimensions."""
+
+    rule_id = "UNIT001"
+    description = "additive arithmetic must not mix dimensions"
+
+
+class UnitComparisonMixRule(_UnitRule):
+    """UNIT002: comparison across incompatible dimensions."""
+
+    rule_id = "UNIT002"
+    description = "comparisons must not mix dimensions"
+
+
+class UnitAnnotationContradictionRule(_UnitRule):
+    """UNIT003: derived dimension contradicts the declared annotation."""
+
+    rule_id = "UNIT003"
+    description = "derived dimension must match the declared annotation"
+
+
+class UnitBoundaryCrossingRule(_UnitRule):
+    """UNIT004: unconverted dimension handed across a call boundary."""
+
+    rule_id = "UNIT004"
+    description = "call boundaries must receive the declared dimension"
+
+
+class UnitMagicLiteralRule(_UnitRule):
+    """UNIT005: byte-scale magic literal in dimensioned arithmetic."""
+
+    rule_id = "UNIT005"
+    description = "use repro.units scale constants, not magic byte literals"
+    severity = Severity.WARNING
+
+
+class UnitNameContradictionRule(_UnitRule):
+    """UNIT006: unit-suffixed name bound to a contradicting dimension."""
+
+    rule_id = "UNIT006"
+    description = "unit-suffixed names must hold matching dimensions"
+    severity = Severity.WARNING
+
+
+UNIT_RULES: Tuple[Rule, ...] = (
+    UnitAdditiveMixRule(),
+    UnitComparisonMixRule(),
+    UnitAnnotationContradictionRule(),
+    UnitBoundaryCrossingRule(),
+    UnitMagicLiteralRule(),
+    UnitNameContradictionRule(),
+)

@@ -145,7 +145,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [str(Path(repro.__file__).parent)]
     report = Linter().lint_paths(paths)
-    print(report.render(audit=args.audit))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render(audit=args.audit))
     return 0 if report.ok else 1
 
 
@@ -395,6 +398,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     lint_parser.add_argument("paths", nargs="*")
     lint_parser.add_argument(
         "--audit", action="store_true", help="also list inline suppressions"
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
     )
     lint_parser.set_defaults(fn=_cmd_lint)
 

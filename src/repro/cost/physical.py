@@ -23,6 +23,8 @@ from repro.power.systems import (
     PSU_EFFICIENCY,
     USB_HOST_ADAPTER_POWER,
 )
+from repro.units import GB as GB_DECIMAL
+from repro.units import TB as TB_DECIMAL
 from repro.workload.specs import MB, AccessPattern, WorkloadSpec
 
 __all__ = ["UnitSpec", "unit_spec"]
@@ -48,11 +50,11 @@ class UnitSpec:
 
     @property
     def raw_capacity_tb(self) -> float:
-        return self.raw_capacity_bytes / 1e12
+        return self.raw_capacity_bytes / TB_DECIMAL
 
     @property
     def aggregate_throughput_gb_s(self) -> float:
-        return self.aggregate_throughput_bytes / 1e9
+        return self.aggregate_throughput_bytes / GB_DECIMAL
 
     @property
     def capacity_per_rack_unit_tb(self) -> float:

@@ -19,6 +19,13 @@ from repro.disk.specs import (
     DiskSpec,
     DT01ACA300,
 )
+from repro.units import (
+    Bytes,
+    BytesPerSec,
+    MBps,
+    SimSeconds,
+    bytes_per_sec_to_mbps,
+)
 from repro.workload.specs import WorkloadSpec
 
 __all__ = ["DiskModel", "ThroughputEstimate"]
@@ -33,13 +40,13 @@ class ThroughputEstimate:
     """Steady-state throughput of one disk under one workload."""
 
     spec: WorkloadSpec
-    service_time: float  # expected seconds per I/O
+    service_time: SimSeconds  # expected per I/O
     iops: float
-    bytes_per_second: float
+    bytes_per_second: BytesPerSec
 
     @property
-    def mb_per_second(self) -> float:
-        return self.bytes_per_second / 1e6
+    def mb_per_second(self) -> MBps:
+        return bytes_per_sec_to_mbps(self.bytes_per_second)
 
 
 class DiskModel:
@@ -58,14 +65,14 @@ class DiskModel:
 
     # -- single-operation service times ---------------------------------
 
-    def _transfer_time(self, size: int) -> float:
-        return size / self.disk.media_rate
+    def _transfer_time(self, size: Bytes) -> SimSeconds:
+        return SimSeconds(size / self.disk.media_rate)
 
-    def _extra_crossings(self, size: int) -> int:
+    def _extra_crossings(self, size: Bytes) -> int:
         """Track boundaries crossed by a random transfer beyond the first."""
         return max(0, math.ceil(size / self.disk.track_bytes) - 1)
 
-    def op_service_time(self, spec: WorkloadSpec, is_read: bool) -> float:
+    def op_service_time(self, spec: WorkloadSpec, is_read: bool) -> SimSeconds:
         """Expected service time of a single read or write under ``spec``."""
         profile = self.profile
         time = profile.overhead_read if is_read else profile.overhead_write
@@ -75,7 +82,7 @@ class DiskModel:
             time += self.disk.positioning_read if is_read else self.disk.positioning_write
             chunk = profile.chunk_read if is_read else profile.chunk_write
             time += chunk * self._extra_crossings(spec.transfer_size)
-        return time
+        return SimSeconds(time)
 
     def service_components(
         self, spec: WorkloadSpec, is_read: bool
@@ -124,7 +131,7 @@ class DiskModel:
         # Normalize so the calibrated constants are exact at 50/50.
         return unit * (change_rate / 0.5)
 
-    def service_time(self, spec: WorkloadSpec) -> float:
+    def service_time(self, spec: WorkloadSpec) -> SimSeconds:
         """Expected service time per I/O across the read/write mix."""
         p = spec.read_fraction
         expected = 0.0
@@ -132,7 +139,7 @@ class DiskModel:
             expected += p * self.op_service_time(spec, is_read=True)
         if p < 1:
             expected += (1 - p) * self.op_service_time(spec, is_read=False)
-        return expected + self.mix_penalty(spec)
+        return SimSeconds(expected + self.mix_penalty(spec))
 
     # -- steady-state throughput ------------------------------------------
 
@@ -144,9 +151,9 @@ class DiskModel:
             spec=spec,
             service_time=service,
             iops=iops,
-            bytes_per_second=iops * spec.transfer_size,
+            bytes_per_second=BytesPerSec(iops * spec.transfer_size),
         )
 
-    def demand_bytes_per_second(self, spec: WorkloadSpec) -> float:
+    def demand_bytes_per_second(self, spec: WorkloadSpec) -> BytesPerSec:
         """The disk-limited data rate (input to the fabric share model)."""
         return self.throughput(spec).bytes_per_second

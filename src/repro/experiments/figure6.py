@@ -23,7 +23,7 @@ from repro.experiments.base import Experiment, ExperimentResult
 from repro.experiments.common import conflict_free_batch, format_table
 from repro.net.rpc import RpcClient
 from repro.obs import MetricsRegistry
-from repro.sim import Event
+from repro.sim import Event, Interrupt
 from repro.workload.specs import KB, MB
 
 __all__ = ["DISK_COUNTS", "EXPERIMENT", "run", "run_single"]
@@ -68,6 +68,8 @@ def run_single(
         while True:
             try:
                 yield from space.read(0, 4 * KB)
+            except Interrupt:
+                raise  # kernel teardown must not be treated as a session error
             except Exception:
                 return
             yield sim.timeout(0.25)

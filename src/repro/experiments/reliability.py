@@ -29,12 +29,13 @@ from repro.reliability import (
     network_rebuild,
 )
 from repro.sim import EventDigest, RngRegistry, Simulator
+from repro.units import GB as GB_DECIMAL
+from repro.units import TB
 from repro.workload.specs import MB
 
 __all__ = ["EXPERIMENT", "run"]
 
 GB = 1024 * MB
-TB = 10**12
 
 
 def _availability() -> Dict:
@@ -66,7 +67,7 @@ def _reconstruction(
                 round(network.seconds / 3600.0, 2),
                 round(assisted.seconds / 3600.0, 2),
                 round(network.seconds / assisted.seconds, 2),
-                round(network.network_bytes / 1e9, 1),
+                round(network.network_bytes / GB_DECIMAL, 1),
             ]
         )
     # Live drill at a smaller size (event-driven path).

@@ -55,16 +55,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.fabric.topology import Fabric
 from repro.obs.metrics import NULL_REGISTRY, Counter, Gauge, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, RequestTracer
+from repro.units import MB, Bytes, BytesPerSec, MiB
 
 __all__ = ["AllocationSession", "BandwidthModel", "Flow", "FlowAllocation"]
 
 #: Realizable one-direction payload on a USB 3.0 link (calibrated: the
 #: paper's root hub tops out "around 300MB/s").
-DEFAULT_PER_DIRECTION_CAPACITY = 300e6
+DEFAULT_PER_DIRECTION_CAPACITY = BytesPerSec(300.0 * MB)
 
 #: Realizable duplex total (the paper measures 540 MB/s with half
 #: reads / half writes on one port).
-DEFAULT_DUPLEX_CAPACITY = 540e6
+DEFAULT_DUPLEX_CAPACITY = BytesPerSec(540.0 * MB)
 
 #: Host-controller command rate per root port (calibrated: 4KB
 #: sequential curves saturate around 8 disks, ~45k IO/s).
@@ -84,9 +85,9 @@ class Flow:
 
     flow_id: str
     disk_id: str
-    demand: float  # bytes/s the disk could sustain alone
+    demand: BytesPerSec  # what the disk could sustain alone
     is_read: bool  # read: disk -> host direction
-    io_size: int = 4 * 1024 * 1024
+    io_size: Bytes = Bytes(4 * MiB)
 
     def __post_init__(self) -> None:
         if self.demand < 0:
@@ -248,8 +249,8 @@ class BandwidthModel:
     def __init__(
         self,
         fabric: Fabric,
-        per_direction_capacity: float = DEFAULT_PER_DIRECTION_CAPACITY,
-        duplex_capacity: float = DEFAULT_DUPLEX_CAPACITY,
+        per_direction_capacity: BytesPerSec = DEFAULT_PER_DIRECTION_CAPACITY,
+        duplex_capacity: BytesPerSec = DEFAULT_DUPLEX_CAPACITY,
         root_iops_limit: Optional[float] = DEFAULT_ROOT_IOPS_LIMIT,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional["RequestTracer"] = None,

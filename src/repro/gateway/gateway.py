@@ -45,6 +45,7 @@ from repro.disk.states import DiskPowerState
 from repro.obs import DEFAULT_DEPTH_BUCKETS
 from repro.power.policy import AdaptiveTimeoutPolicy, FixedTimeoutPolicy, run_policy
 from repro.sim import Event, Simulator
+from repro.units import SimSeconds, Watts
 
 from repro.gateway.queues import WeightedFairQueue
 from repro.gateway.request import GatewayError, GatewayRequest, RequestState
@@ -70,17 +71,17 @@ class GatewayConfig:
 
     #: Wattage ceiling over all gateway-managed disks (24 W ≈ three
     #: USB-profile disks at active draw).
-    power_budget_watts: float = 24.0
+    power_budget_watts: Watts = Watts(24.0)
     #: Per-disk budget charge; ``None`` derives the active draw from the
     #: first attached disk's power profile.
-    watts_per_disk: Optional[float] = None
+    watts_per_disk: Optional[Watts] = None
     scheduler: str = "batch"
     max_batch: int = 64
     #: Dispatcher back-off while budget-blocked with nothing in flight.
-    poll_interval: float = 1.0
+    poll_interval: SimSeconds = SimSeconds(1.0)
     #: Idle timeout handed to the spin-down policy loop.
-    spin_down_idle_seconds: float = 12.0
-    policy_check_interval: float = 2.0
+    spin_down_idle_seconds: SimSeconds = SimSeconds(12.0)
+    policy_check_interval: SimSeconds = SimSeconds(2.0)
     run_spin_down_policy: bool = True
     #: Use §IV-F's thrash-adaptive policy instead of the fixed timeout.
     adaptive_spin_down: bool = False
@@ -234,7 +235,7 @@ class Gateway:
         watts = self.config.watts_per_disk
         if watts is None:
             first = self._disks[sorted(self._disks)[0]]
-            watts = first.default_power_profile().active
+            watts = Watts(first.default_power_profile().active)
         self._power = PowerAccountant(
             self._disks, self.config.power_budget_watts, watts
         )

@@ -32,6 +32,7 @@ from repro.disk.device import SimulatedDisk
 from repro.disk.states import DiskPowerState
 
 from repro.gateway.queues import PendingDisk
+from repro.units import Watts
 
 __all__ = [
     "ColdReadBatchScheduler",
@@ -57,8 +58,8 @@ class PowerAccountant:
     def __init__(
         self,
         disks: Mapping[str, SimulatedDisk],
-        budget_watts: float,
-        watts_per_disk: float,
+        budget_watts: Watts,
+        watts_per_disk: Watts,
     ) -> None:
         if budget_watts <= 0 or watts_per_disk <= 0:
             raise ValueError("power budget and per-disk watts must be positive")
@@ -68,25 +69,25 @@ class PowerAccountant:
         # Disks granted a batch while still spun down: they will draw
         # power as soon as the batch's first I/O lands, so their watts
         # stay reserved until the state machine confirms the spin-up.
-        self._granted: Dict[str, float] = {}
+        self._granted: Dict[str, Watts] = {}
 
     def drawing(self, disk_id: str) -> bool:
         """Whether the disk currently draws (budget-relevant) power."""
         return self.disks[disk_id].power_state in _DRAWING_STATES
 
-    def in_use_watts(self) -> float:
+    def in_use_watts(self) -> Watts:
         """Watts consumed by spinning disks plus outstanding grants."""
         watts = 0.0
         for disk_id in sorted(self.disks):
             if self.drawing(disk_id):
                 watts += self.watts_per_disk
                 self._granted.pop(disk_id, None)
-        return watts + sum(self._granted.values())
+        return Watts(watts + sum(self._granted.values()))
 
-    def cost_of(self, disk_id: str) -> float:
+    def cost_of(self, disk_id: str) -> Watts:
         """Marginal watts of dispatching to ``disk_id`` right now."""
         if self.drawing(disk_id) or disk_id in self._granted:
-            return 0.0
+            return Watts(0.0)
         return self.watts_per_disk
 
     def can_afford(self, disk_id: str) -> bool:

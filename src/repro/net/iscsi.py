@@ -19,6 +19,7 @@ from repro.net.network import Network
 from repro.net.rpc import RemoteError, RpcClient, RpcServer, RpcTimeout
 from repro.obs.trace import NULL_SCOPE, TraceScope
 from repro.sim import Event, Simulator
+from repro.units import Bytes, SimSeconds
 
 __all__ = [
     "IscsiInitiator",
@@ -44,8 +45,8 @@ class StorageVolume:
 
     volume_id: str
     disk: SimulatedDisk
-    offset: int = 0
-    length: Optional[int] = None
+    offset: Bytes = Bytes(0)
+    length: Optional[Bytes] = None
 
     def __post_init__(self) -> None:
         if self.length is None:
@@ -54,7 +55,7 @@ class StorageVolume:
             raise ValueError("invalid volume geometry")
 
     def submit(
-        self, offset: int, size: int, is_read: bool, scope: TraceScope = NULL_SCOPE
+        self, offset: Bytes, size: Bytes, is_read: bool, scope: TraceScope = NULL_SCOPE
     ) -> Event:
         if offset < 0 or offset + size > self.length:
             raise ValueError(
@@ -120,8 +121,8 @@ class IscsiTargetServer:
     def _io(
         self,
         session_id: int,
-        offset: int,
-        size: int,
+        offset: Bytes,
+        size: Bytes,
         is_read: bool,
         trace_scope: TraceScope = NULL_SCOPE,
     ):
@@ -148,19 +149,19 @@ class IscsiSession:
         self.connected = True
 
     def read(
-        self, offset: int, size: int, scope: TraceScope = NULL_SCOPE
+        self, offset: Bytes, size: Bytes, scope: TraceScope = NULL_SCOPE
     ) -> Generator[Event, None, dict]:
         return self._io(offset, size, is_read=True, scope=scope)
 
     def write(
-        self, offset: int, size: int, scope: TraceScope = NULL_SCOPE
+        self, offset: Bytes, size: Bytes, scope: TraceScope = NULL_SCOPE
     ) -> Generator[Event, None, dict]:
         return self._io(offset, size, is_read=False, scope=scope)
 
     def _io(
         self,
-        offset: int,
-        size: int,
+        offset: Bytes,
+        size: Bytes,
         is_read: bool,
         scope: TraceScope = NULL_SCOPE,
     ) -> Generator[Event, None, dict]:
@@ -216,7 +217,7 @@ class IscsiInitiator:
         sim: Simulator,
         network: Network,
         address: str,
-        io_timeout: float = 10.0,
+        io_timeout: SimSeconds = SimSeconds(10.0),
     ):
         self.sim = sim
         self.address = address
@@ -225,7 +226,7 @@ class IscsiInitiator:
         self._m_session_errors = sim.metrics.counter("iscsi.session_errors")
 
     def login(
-        self, host_address: str, target_name: str, timeout: float = 3.0
+        self, host_address: str, target_name: str, timeout: SimSeconds = SimSeconds(3.0)
     ) -> Generator[Event, None, IscsiSession]:
         try:
             session_id = yield from self.rpc.call(

@@ -13,7 +13,7 @@ import itertools
 from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.net.network import Message, Network
-from repro.sim import Event, Simulator
+from repro.sim import Event, Interrupt, Simulator
 
 __all__ = ["RemoteError", "RpcClient", "RpcServer", "RpcTimeout"]
 
@@ -72,6 +72,10 @@ class RpcServer:
                 if hasattr(result, "send") and hasattr(result, "throw"):
                     result = yield self.sim.process(result)
                 response["result"] = result
+            except Interrupt:
+                # A kernel interrupt (server torn down mid-request) must
+                # reach the kernel, not be forwarded as an RPC error.
+                raise
             except Exception as exc:  # noqa: BLE001 - forwarded to caller
                 response["error"] = f"{type(exc).__name__}: {exc}"
         self.requests_served += 1

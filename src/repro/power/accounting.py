@@ -19,6 +19,7 @@ from repro.power.systems import (
     USB_HOST_ADAPTER_POWER,
 )
 from repro.sim import Event, TimeSeries
+from repro.units import Joules, SimSeconds, Watts
 
 __all__ = ["PowerMeter"]
 
@@ -26,14 +27,16 @@ __all__ = ["PowerMeter"]
 class PowerMeter:
     """Periodic power sampling over a deployment."""
 
-    def __init__(self, deployment: Deployment, interval: float = 1.0):
+    def __init__(
+        self, deployment: Deployment, interval: SimSeconds = SimSeconds(1.0)
+    ):
         self.deployment = deployment
         self.interval = interval
         self.series = TimeSeries("wall_power_watts")
         self.fabric_model = FabricPowerModel(deployment.fabric)
         self._process = None
 
-    def instantaneous_watts(self) -> float:
+    def instantaneous_watts(self) -> Watts:
         """Wall power right now."""
         disks = sum(
             disk.power_draw(disk.default_power_profile())
@@ -51,7 +54,7 @@ class PowerMeter:
             + FAN_POWER * FAN_COUNT
             + USB_HOST_ADAPTER_POWER * USB_HOST_ADAPTER_COUNT
         )
-        return dc_total / PSU_EFFICIENCY
+        return Watts(dc_total / PSU_EFFICIENCY)
 
     def start(self) -> None:
         if self._process is not None:
@@ -65,8 +68,9 @@ class PowerMeter:
 
         self._process = sim.process(loop())
 
-    def energy_joules(self, end_time: Optional[float] = None) -> float:
+    def energy_joules(self, end_time: Optional[SimSeconds] = None) -> Joules:
         end = end_time if end_time is not None else self.deployment.sim.now
-        return self.series.time_weighted_mean(end) * (
-            end - (self.series.times[0] if self.series.times else 0.0)
+        return Joules(
+            self.series.time_weighted_mean(end)
+            * (end - (self.series.times[0] if self.series.times else 0.0))
         )

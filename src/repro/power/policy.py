@@ -14,6 +14,7 @@ from typing import Dict, Generator, List
 from repro.disk.device import SimulatedDisk
 from repro.disk.states import DiskPowerState
 from repro.sim import Event, Simulator
+from repro.units import SimSeconds
 
 __all__ = ["AdaptiveTimeoutPolicy", "FixedTimeoutPolicy", "run_policy"]
 
@@ -22,12 +23,12 @@ __all__ = ["AdaptiveTimeoutPolicy", "FixedTimeoutPolicy", "run_policy"]
 class FixedTimeoutPolicy:
     """Spin down after a constant idle interval."""
 
-    idle_timeout: float = 300.0
+    idle_timeout: SimSeconds = SimSeconds(300.0)
 
-    def timeout_for(self, disk_id: str) -> float:
+    def timeout_for(self, disk_id: str) -> SimSeconds:
         return self.idle_timeout
 
-    def on_spin_up(self, disk_id: str, now: float) -> None:
+    def on_spin_up(self, disk_id: str, now: SimSeconds) -> None:
         """Fixed policy ignores wake-ups."""
 
 
@@ -41,24 +42,26 @@ class AdaptiveTimeoutPolicy:
     mechanical spin cycles.
     """
 
-    idle_timeout: float = 300.0
+    idle_timeout: SimSeconds = SimSeconds(300.0)
     thrash_limit: int = 3
-    thrash_window: float = 3600.0
-    max_timeout: float = 4 * 3600.0
-    _timeouts: Dict[str, float] = field(default_factory=dict)
-    _wakeups: Dict[str, List[float]] = field(default_factory=dict)
+    thrash_window: SimSeconds = SimSeconds(3600.0)
+    max_timeout: SimSeconds = SimSeconds(4 * 3600.0)
+    _timeouts: Dict[str, SimSeconds] = field(default_factory=dict)
+    _wakeups: Dict[str, List[SimSeconds]] = field(default_factory=dict)
 
-    def timeout_for(self, disk_id: str) -> float:
+    def timeout_for(self, disk_id: str) -> SimSeconds:
         return self._timeouts.get(disk_id, self.idle_timeout)
 
-    def on_spin_up(self, disk_id: str, now: float) -> None:
+    def on_spin_up(self, disk_id: str, now: SimSeconds) -> None:
         events = self._wakeups.setdefault(disk_id, [])
         events.append(now)
         cutoff = now - self.thrash_window
         events[:] = [t for t in events if t >= cutoff]
         if len(events) > self.thrash_limit:
             current = self.timeout_for(disk_id)
-            self._timeouts[disk_id] = min(current * 2, self.max_timeout)
+            self._timeouts[disk_id] = SimSeconds(
+                min(current * 2.0, self.max_timeout)
+            )
             events.clear()
 
 
@@ -66,7 +69,7 @@ def run_policy(
     sim: Simulator,
     disks: Dict[str, SimulatedDisk],
     policy,
-    check_interval: float = 10.0,
+    check_interval: SimSeconds = SimSeconds(10.0),
 ) -> "Event":
     """Drive a spin-down policy over ``disks`` as a simulation process.
 

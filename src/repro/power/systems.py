@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.disk.specs import TOSHIBA_POWER_SATA, TOSHIBA_POWER_USB
 from repro.fabric.power import FabricPowerModel
 from repro.fabric.topology import Fabric
+from repro.units import Watts
 
 __all__ = [
     "PowerBreakdown",
@@ -28,81 +29,85 @@ __all__ = [
 ]
 
 #: §VII-C constants.
-FAN_POWER = 1.0  # W each
+FAN_POWER = Watts(1.0)  # each
 FAN_COUNT = 6
-USB_HOST_ADAPTER_POWER = 2.5  # W each
+USB_HOST_ADAPTER_POWER = Watts(2.5)  # each
 USB_HOST_ADAPTER_COUNT = 4
 PSU_EFFICIENCY = 0.90  # "90plus" supply
 
 #: Pergamum per-tome estimates from the text.
-PERGAMUM_ARM_ACTIVE = 2.5
-PERGAMUM_ARM_IDLE = 0.8
-PERGAMUM_ETHERNET_ACTIVE = 1.5
-PERGAMUM_ETHERNET_IDLE = 0.5
+PERGAMUM_ARM_ACTIVE = Watts(2.5)
+PERGAMUM_ARM_IDLE = Watts(0.8)
+PERGAMUM_ETHERNET_ACTIVE = Watts(1.5)
+PERGAMUM_ETHERNET_IDLE = Watts(0.5)
 
 #: EMC DD860/ES30 (15 disks), quoted from Li et al. [33] via Table V.
-DD860_SPINNING = 222.5
-DD860_POWERED_OFF = 83.5
+DD860_SPINNING = Watts(222.5)
+DD860_POWERED_OFF = Watts(83.5)
 
 
 @dataclass(frozen=True)
 class PowerBreakdown:
     """Watts at the wall, with the pre-PSU component subtotal."""
 
-    disks: float
-    interconnect: float
-    fans: float
-    adapters: float
+    disks: Watts
+    interconnect: Watts
+    fans: Watts
+    adapters: Watts
 
     @property
-    def dc_total(self) -> float:
-        return self.disks + self.interconnect + self.fans + self.adapters
+    def dc_total(self) -> Watts:
+        return Watts(self.disks + self.interconnect + self.fans + self.adapters)
 
     @property
-    def wall_total(self) -> float:
-        return self.dc_total / PSU_EFFICIENCY
+    def wall_total(self) -> Watts:
+        return Watts(self.dc_total / PSU_EFFICIENCY)
 
 
 def ustore_power(fabric: Fabric, spinning: bool, num_disks: int = 16) -> PowerBreakdown:
     """UStore unit power from its component models."""
     fabric_model = FabricPowerModel(fabric)
     if spinning:
-        disks = num_disks * TOSHIBA_POWER_USB.active
-        interconnect = fabric_model.total_power()
+        disks = Watts(num_disks * TOSHIBA_POWER_USB.active)
+        interconnect = Watts(fabric_model.total_power())
     else:
         # Relays cut the enclosures (disk + bridge), and the hosts cut
         # power to the fabric's hub subtrees as well (§VII-C: "hosts can
         # directly cut the power to the root hubs").
-        disks = 0.0
+        disks = Watts(0.0)
         for node_id in fabric_model.powered:
             kind = fabric.node(node_id).kind.value
             if kind in ("disk", "bridge", "hub"):
                 fabric_model.set_powered(node_id, False)
-        interconnect = fabric_model.total_power()  # switches only
+        interconnect = Watts(fabric_model.total_power())  # switches only
     return PowerBreakdown(
         disks=disks,
         interconnect=interconnect,
-        fans=FAN_POWER * FAN_COUNT,
-        adapters=USB_HOST_ADAPTER_POWER * USB_HOST_ADAPTER_COUNT,
+        fans=Watts(FAN_POWER * FAN_COUNT),
+        adapters=Watts(USB_HOST_ADAPTER_POWER * USB_HOST_ADAPTER_COUNT),
     )
 
 
 def pergamum_power(spinning: bool, num_disks: int = 16) -> PowerBreakdown:
     """Pergamum tomes (no NVRAM), same disks/fans/supply as UStore."""
     if spinning:
-        disks = num_disks * TOSHIBA_POWER_SATA.active
-        interconnect = num_disks * (PERGAMUM_ARM_ACTIVE + PERGAMUM_ETHERNET_ACTIVE)
+        disks = Watts(num_disks * TOSHIBA_POWER_SATA.active)
+        interconnect = Watts(
+            num_disks * (PERGAMUM_ARM_ACTIVE + PERGAMUM_ETHERNET_ACTIVE)
+        )
     else:
-        disks = 0.0
-        interconnect = num_disks * (PERGAMUM_ARM_IDLE + PERGAMUM_ETHERNET_IDLE)
+        disks = Watts(0.0)
+        interconnect = Watts(
+            num_disks * (PERGAMUM_ARM_IDLE + PERGAMUM_ETHERNET_IDLE)
+        )
     return PowerBreakdown(
         disks=disks,
         interconnect=interconnect,
-        fans=FAN_POWER * FAN_COUNT,
-        adapters=0.0,
+        fans=Watts(FAN_POWER * FAN_COUNT),
+        adapters=Watts(0.0),
     )
 
 
-def dd860_power(spinning: bool) -> float:
+def dd860_power(spinning: bool) -> Watts:
     """Published DD860/ES30 wall power (15 disks)."""
     return DD860_SPINNING if spinning else DD860_POWERED_OFF

@@ -29,6 +29,7 @@ from repro.disk.specs import ConnectionType
 from repro.fabric.bandwidth import DEFAULT_PER_DIRECTION_CAPACITY
 from repro.net.rpc import RpcClient
 from repro.sim import Event
+from repro.units import MB as MB_DECIMAL
 from repro.workload.specs import MB, AccessPattern, WorkloadSpec
 
 __all__ = [
@@ -50,7 +51,7 @@ class RebuildEstimate:
 
     @property
     def rate_mb_s(self) -> float:
-        return self.rebuild_bytes / self.seconds / 1e6 if self.seconds else 0.0
+        return self.rebuild_bytes / self.seconds / MB_DECIMAL if self.seconds else 0.0
 
 
 def _disk_seq_rate(size: int = 4 * MB) -> float:

@@ -152,6 +152,28 @@ class Timeout(Event):
         sim._push(self, delay, NORMAL)
 
 
+def _describe_event(event: Event) -> str:
+    """Qualified name of the code an event will run, for race reports.
+
+    Called only on the instrumented slow path while a race detector is
+    armed, so the ``Race``/``render()`` output can point at source
+    (``process:Writer.run``) instead of bare sequence numbers.  Uses
+    duck typing on ``generator`` because :class:`repro.sim.process.Process`
+    lives downstream of this module.
+    """
+    generator = getattr(event, "generator", None)
+    if generator is not None:
+        return f"process:{getattr(generator, '__qualname__', getattr(event, 'name', '?'))}"
+    for callback in event.callbacks or ():
+        owner = getattr(callback, "__self__", None)
+        owner_gen = getattr(owner, "generator", None)
+        if owner_gen is not None:
+            # Bound Process._resume: the event resumes that process.
+            return f"resume:{getattr(owner_gen, '__qualname__', getattr(owner, 'name', '?'))}"
+        return f"callback:{getattr(callback, '__qualname__', type(callback).__name__)}"
+    return type(event).__name__.lower()
+
+
 class Simulator:
     """Deterministic discrete-event simulator.
 
@@ -344,7 +366,7 @@ class Simulator:
         if detector is None:
             item[3]._process()
             return
-        detector.begin_event(item[0], item[1], item[2])
+        detector.begin_event(item[0], item[1], item[2], _describe_event(item[3]))
         try:
             item[3]._process()
         finally:

@@ -1,0 +1,13 @@
+"""Fixture: PROC001 — resource acquired but not released safely."""
+
+
+def leaky(sim, disk):
+    slot = yield disk.request()
+    yield sim.timeout(1.0)
+    del slot  # never released: an interrupt leaks the slot
+
+
+def unguarded(sim, disk):
+    yield disk.request()
+    yield sim.timeout(1.0)
+    disk.release()  # release exists but no try/finally guards the yield

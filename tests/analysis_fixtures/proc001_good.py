@@ -1,0 +1,15 @@
+"""Fixture: clean counterpart to proc001_bad — try/finally discipline."""
+
+
+def careful(sim, disk):
+    yield disk.request()
+    try:
+        yield sim.timeout(1.0)
+    finally:
+        disk.release()
+
+
+def immediate(sim, disk):
+    yield disk.request()
+    disk.release()
+    yield sim.timeout(1.0)

@@ -1,0 +1,16 @@
+"""Fixture: PROC002 — blocking calls inside sim processes."""
+
+import subprocess
+import time
+
+
+def stall(sim):
+    time.sleep(0.5)
+    handle = open("trace.bin", "rb")
+    del handle
+    yield sim.timeout(1.0)
+
+
+def shell_out(sim):
+    subprocess.run(["sync"])
+    yield sim.timeout(1.0)

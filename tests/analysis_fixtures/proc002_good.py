@@ -1,0 +1,16 @@
+"""Fixture: clean counterpart to proc002_bad — sim time only.
+
+Real I/O happens outside the simulation; the process advances
+simulated time through kernel events.
+"""
+
+
+def stage(path):
+    # Not a sim generator: plain setup code may do real I/O.
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def wait(sim):
+    yield sim.timeout(0.5)
+    yield sim.timeout(1.0)

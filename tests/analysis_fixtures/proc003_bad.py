@@ -1,0 +1,19 @@
+"""Fixture: PROC003 — event callback mutating enclosing shared state."""
+
+
+def watcher(sim, done_event):
+    seen = []
+
+    def on_done(event):
+        seen.append(event)
+
+    done_event.callbacks.append(on_done)
+    yield sim.timeout(1.0)
+
+
+def poller(sim, counters):
+    def bump(_event):
+        counters["fired"] = True
+
+    sim.call_in(0.5, bump)
+    yield sim.timeout(1.0)

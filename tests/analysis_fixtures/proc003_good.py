@@ -1,0 +1,17 @@
+"""Fixture: clean counterpart to proc003_bad — callbacks only signal."""
+
+
+def watcher(sim, done_event, store):
+    def on_done(event):
+        store.put(event)
+
+    done_event.callbacks.append(on_done)
+    yield sim.timeout(1.0)
+
+
+def poller(sim, wake):
+    def bump(_event):
+        wake.succeed(None)
+
+    sim.call_in(0.5, bump)
+    yield sim.timeout(1.0)

@@ -1,0 +1,15 @@
+"""Fixture: PROC004 — broad except swallows kernel Interrupts."""
+
+
+def fragile(sim):
+    try:
+        yield sim.timeout(1.0)
+    except Exception:
+        return
+
+
+def wrapped(sim, log):
+    try:
+        yield sim.timeout(1.0)
+    except (ValueError, Exception) as exc:
+        log.append(str(exc))

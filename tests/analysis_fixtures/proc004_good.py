@@ -1,0 +1,26 @@
+"""Fixture: clean counterpart to proc004_bad — Interrupt stays visible."""
+
+from repro.sim import Interrupt
+
+
+def robust(sim):
+    try:
+        yield sim.timeout(1.0)
+    except Interrupt:
+        raise
+    except Exception:
+        return
+
+
+def narrow(sim, log):
+    try:
+        yield sim.timeout(1.0)
+    except ValueError as exc:
+        log.append(str(exc))
+
+
+def reraising(sim):
+    try:
+        yield sim.timeout(1.0)
+    except Exception:
+        raise

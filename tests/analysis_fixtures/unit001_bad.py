@@ -1,0 +1,11 @@
+"""Fixture: UNIT001 — additive arithmetic mixing dimensions."""
+
+from repro.units import Joules, SimSeconds, Watts
+
+
+def total_draw(power: Watts, energy: Joules) -> float:
+    return power + energy
+
+
+def drift(deadline: SimSeconds, budget: Watts) -> float:
+    return min(deadline, budget)

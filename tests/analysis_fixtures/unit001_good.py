@@ -1,0 +1,11 @@
+"""Fixture: clean counterpart to unit001_bad — converts before adding."""
+
+from repro.units import Joules, SimSeconds, Watts, watt_seconds
+
+
+def total_energy(power: Watts, elapsed: SimSeconds, carry: Joules) -> Joules:
+    return Joules(watt_seconds(power, elapsed) + carry)
+
+
+def tightest(first: SimSeconds, second: SimSeconds) -> SimSeconds:
+    return min(first, second)

@@ -1,0 +1,11 @@
+"""Fixture: UNIT002 — comparisons across dimensions."""
+
+from repro.units import BytesPerSec, Joules, MBps, Watts
+
+
+def over_budget(power: Watts, energy: Joules) -> bool:
+    return power > energy
+
+
+def saturated(native: BytesPerSec, quoted: MBps) -> bool:
+    return native >= quoted

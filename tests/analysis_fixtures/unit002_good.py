@@ -1,0 +1,11 @@
+"""Fixture: clean counterpart to unit002_bad — same-dimension compares."""
+
+from repro.units import BytesPerSec, MBps, Watts, mbps_to_bytes_per_sec
+
+
+def over_budget(power: Watts, ceiling: Watts) -> bool:
+    return power > ceiling
+
+
+def saturated(native: BytesPerSec, quoted: MBps) -> bool:
+    return native >= mbps_to_bytes_per_sec(quoted)

@@ -1,0 +1,9 @@
+"""Fixture: UNIT003 — derived dimension contradicts the declaration."""
+
+from repro.units import Joules, SimSeconds, Watts
+
+
+def integrate(power: Watts, elapsed: SimSeconds) -> Joules:
+    reading: Joules = power
+    del reading
+    return power

@@ -1,0 +1,8 @@
+"""Fixture: clean counterpart to unit003_bad — dimensions line up."""
+
+from repro.units import Joules, SimSeconds, Watts
+
+
+def integrate(power: Watts, elapsed: SimSeconds) -> Joules:
+    reading: Joules = Joules(power * elapsed)
+    return reading

@@ -1,0 +1,12 @@
+"""Fixture: UNIT004 — unconverted dimension across a call boundary."""
+
+from repro.units import BytesPerSec, MBps
+
+
+def admit(rate: BytesPerSec) -> None:
+    del rate
+
+
+def handoff(paper_rate: MBps) -> None:
+    admit(paper_rate)
+    admit(rate=paper_rate)

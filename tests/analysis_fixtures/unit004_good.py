@@ -1,0 +1,12 @@
+"""Fixture: clean counterpart to unit004_bad — converts at the boundary."""
+
+from repro.units import BytesPerSec, MBps, mbps_to_bytes_per_sec
+
+
+def admit(rate: BytesPerSec) -> None:
+    del rate
+
+
+def handoff(paper_rate: MBps) -> None:
+    admit(mbps_to_bytes_per_sec(paper_rate))
+    admit(rate=mbps_to_bytes_per_sec(paper_rate))

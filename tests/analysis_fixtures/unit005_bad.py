@@ -1,0 +1,11 @@
+"""Fixture: UNIT005 — byte-scale magic literal in dimensioned math."""
+
+from repro.units import Bytes, BytesPerSec
+
+
+def to_megabytes(total: Bytes) -> float:
+    return total / 1e6
+
+
+def chunk_count(rate: BytesPerSec) -> float:
+    return rate / (1 << 20)

@@ -1,0 +1,11 @@
+"""Fixture: clean counterpart to unit005_bad — declared scale constants."""
+
+from repro.units import MB, MiB, Bytes, BytesPerSec
+
+
+def to_megabytes(total: Bytes) -> float:
+    return total / MB
+
+
+def chunk_count(rate: BytesPerSec) -> float:
+    return rate / MiB

@@ -1,0 +1,8 @@
+"""Fixture: UNIT006 — unit-suffixed name bound to the wrong dimension."""
+
+from repro.units import Watts
+
+
+def mislabel(power: Watts) -> None:
+    total_joules = power
+    del total_joules

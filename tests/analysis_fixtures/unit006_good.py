@@ -1,0 +1,9 @@
+"""Fixture: clean counterpart to unit006_bad — suffix matches the value."""
+
+from repro.units import SimSeconds, Watts, watt_seconds
+
+
+def label(power: Watts, elapsed: SimSeconds) -> None:
+    total_watts = power
+    total_joules = watt_seconds(power, elapsed)
+    del total_watts, total_joules

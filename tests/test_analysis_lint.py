@@ -19,6 +19,16 @@ RULE_FIXTURES = [
     ("DET003", "det003_bad.py", "det003_good.py"),
     ("DET004", "det004_bad.py", "det004_good.py"),
     ("DET005", "det005_bad.py", "det005_good.py"),
+    ("UNIT001", "unit001_bad.py", "unit001_good.py"),
+    ("UNIT002", "unit002_bad.py", "unit002_good.py"),
+    ("UNIT003", "unit003_bad.py", "unit003_good.py"),
+    ("UNIT004", "unit004_bad.py", "unit004_good.py"),
+    ("UNIT005", "unit005_bad.py", "unit005_good.py"),
+    ("UNIT006", "unit006_bad.py", "unit006_good.py"),
+    ("PROC001", "proc001_bad.py", "proc001_good.py"),
+    ("PROC002", "proc002_bad.py", "proc002_good.py"),
+    ("PROC003", "proc003_bad.py", "proc003_good.py"),
+    ("PROC004", "proc004_bad.py", "proc004_good.py"),
 ]
 
 

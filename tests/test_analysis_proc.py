@@ -1,0 +1,196 @@
+"""Sim-process protocol analyzer: generator detection and rule edges.
+
+The fixture suite (``test_analysis_lint.py``) proves each PROC rule
+fires/stays silent on its dedicated fixture pair; these tests pin the
+generator-detection heuristic and the edge cases each rule must get
+right (finally-guarded releases, self-receivers, re-raise shapes).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import Linter
+from repro.analysis.proc import is_sim_generator
+
+
+def lint_source(tmp_path, source):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return Linter().lint_paths([str(path)])
+
+
+def rule_ids(report):
+    return sorted({f.rule_id for f in report.findings})
+
+
+def first_function(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+
+
+# -- generator detection ----------------------------------------------------
+
+
+def test_yielding_event_factory_is_sim_generator():
+    func = first_function(
+        """
+        def proc(sim):
+            yield sim.timeout(1.0)
+        """
+    )
+    assert is_sim_generator(func)
+
+
+def test_event_return_annotation_is_sim_generator():
+    func = first_function(
+        """
+        def proc(queue) -> "ProcessGen":
+            yield queue.pop()
+        """
+    )
+    assert is_sim_generator(func)
+
+
+def test_plain_generator_is_not_sim_generator():
+    func = first_function(
+        """
+        def numbers(n):
+            for i in range(n):
+                yield i
+        """
+    )
+    assert not is_sim_generator(func)
+
+
+def test_non_generator_is_not_sim_generator():
+    func = first_function(
+        """
+        def helper(sim):
+            return sim.timeout(1.0)
+        """
+    )
+    assert not is_sim_generator(func)
+
+
+def test_nested_generator_does_not_taint_enclosing_function():
+    # The inner sim process yields; the outer function does not.
+    func = first_function(
+        """
+        def outer(sim):
+            def inner():
+                yield sim.timeout(1.0)
+            return inner
+        """
+    )
+    assert not is_sim_generator(func)
+
+
+# -- PROC001: acquire/release pairing ---------------------------------------
+
+
+def test_release_before_any_yield_is_clean(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def proc(sim, resource):
+            grant = resource.request()
+            resource.release(grant)
+            yield sim.timeout(1.0)
+        """,
+    )
+    assert report.ok, report.render()
+
+
+def test_release_in_finally_spanning_yield_is_clean(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def proc(sim, resource):
+            grant = resource.request()
+            try:
+                yield sim.timeout(1.0)
+            finally:
+                resource.release(grant)
+        """,
+    )
+    assert report.ok, report.render()
+
+
+def test_unreleased_acquire_flagged_once(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def proc(sim, resource):
+            resource.request()
+            yield sim.timeout(1.0)
+        """,
+    )
+    assert rule_ids(report) == ["PROC001"]
+    assert len(report.findings) == 1
+
+
+# -- PROC002: blocking calls ------------------------------------------------
+
+
+def test_wallclock_sleep_flagged_but_sim_timeout_clean(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        import time
+
+
+        def proc(sim):
+            time.sleep(0.1)
+            yield sim.timeout(1.0)
+        """,
+    )
+    assert rule_ids(report) == ["PROC002"]
+
+
+def test_self_receiver_methods_are_not_blocking(tmp_path):
+    # ``self.read_text()`` is a model method, not pathlib I/O.
+    report = lint_source(
+        tmp_path,
+        """
+        class Node:
+            def proc(self, sim):
+                self.read_text()
+                yield sim.timeout(1.0)
+
+            def read_text(self):
+                return ""
+        """,
+    )
+    assert report.ok, report.render()
+
+
+# -- PROC004: broad handlers ------------------------------------------------
+
+
+def test_base_exception_handler_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def proc(sim):
+            try:
+                yield sim.timeout(1.0)
+            except BaseException:
+                return
+        """,
+    )
+    assert rule_ids(report) == ["PROC004"]
+
+
+def test_named_reraise_counts_as_propagation(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        def proc(sim, log):
+            try:
+                yield sim.timeout(1.0)
+            except Exception as exc:
+                log.append(str(exc))
+                raise exc
+        """,
+    )
+    assert report.ok, report.render()

@@ -94,3 +94,30 @@ def test_race_is_plain_data():
     race = Race(time=1.0, priority=0, resource="r", seqs=(3, 4), writes=2)
     assert "r" in race.render()
     assert race == Race(time=1.0, priority=0, resource="r", seqs=(3, 4), writes=2)
+    assert race.labels == ()
+
+
+def test_race_labels_point_at_source():
+    sim = Simulator(detect_races=True)
+    store = Store(sim, name="mailbox")
+    sim.process(writer(sim, store, "a"))
+    sim.process(writer(sim, store, "b"))
+    sim.run()
+    (race,) = sim.races
+    assert len(race.labels) == len(race.seqs) == 2
+    # Both conflicting events resume the ``writer`` process generator.
+    assert all("writer" in label for label in race.labels)
+    assert "writer" in race.render()
+
+
+def test_race_labels_for_plain_callbacks():
+    sim = Simulator(detect_races=True)
+
+    def bump(_event):
+        sim.touch_resource("counter", write=True)
+
+    sim.timeout(1.0).callbacks.append(bump)
+    sim.timeout(1.0).callbacks.append(bump)
+    sim.run()
+    (race,) = sim.races
+    assert all("bump" in label for label in race.labels)

@@ -1,0 +1,258 @@
+"""Unit-dimension analyzer internals: inference seeds and the algebra.
+
+The fixture suite (``test_analysis_lint.py``) proves each UNIT rule
+fires/stays silent on its dedicated fixture pair; these tests pin the
+behaviour of the underlying dimension lattice — what the checker infers
+from annotations and suffixes, which products/quotients are sanctioned,
+and that unknown dimensions never produce findings (the conservative
+contract that keeps the false-positive rate at zero).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import Linter
+from repro.analysis.units import Dim, annotation_dim, name_suffix_dim
+
+
+def lint_source(tmp_path, source):
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return Linter().lint_paths([str(path)])
+
+
+def rule_ids(report):
+    return sorted({f.rule_id for f in report.findings})
+
+
+# -- inference seeds --------------------------------------------------------
+
+
+def test_name_suffix_dim_vocabulary():
+    assert name_suffix_dim("idle_watts") is Dim.WATTS
+    assert name_suffix_dim("watts") is Dim.WATTS
+    assert name_suffix_dim("rebuild_bytes") is Dim.BYTES
+    assert name_suffix_dim("spin_up_seconds") is Dim.SECONDS
+    assert name_suffix_dim("demand_bytes_per_second") is Dim.BYTES_PER_SEC
+    assert name_suffix_dim("peak_mb_per_second") is Dim.MBPS
+    # Suffixes match on word boundaries only: no embedded-word guesses.
+    assert name_suffix_dim("kilowatts") is None
+    assert name_suffix_dim("megabytes_total") is None
+
+
+def test_annotation_dim_unwraps_wrappers():
+    def dim_of(expr):
+        return annotation_dim(ast.parse(expr, mode="eval").body)
+
+    assert dim_of("Watts") is Dim.WATTS
+    assert dim_of("units.SimSeconds") is Dim.SECONDS
+    assert dim_of("'Bytes'") is Dim.BYTES
+    assert dim_of("Optional[BytesPerSec]") is Dim.BYTES_PER_SEC
+    assert dim_of("Final[Joules]") is Dim.JOULES
+    assert dim_of("Dict[str, Watts]") is None
+    assert dim_of("float") is None
+
+
+# -- the algebra ------------------------------------------------------------
+
+
+def test_sanctioned_products_and_quotients_are_clean(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import Bytes, BytesPerSec, Joules, SimSeconds, Watts
+
+
+        def energy(power: Watts, interval: SimSeconds) -> Joules:
+            return power * interval
+
+
+        def mean_power(total: Joules, interval: SimSeconds) -> Watts:
+            return total / interval
+
+
+        def duration(total: Joules, power: Watts) -> SimSeconds:
+            return total / power
+
+
+        def transfer_time(size: Bytes, rate: BytesPerSec) -> SimSeconds:
+            return size / rate
+
+
+        def moved(rate: BytesPerSec, interval: SimSeconds) -> Bytes:
+            return rate * interval
+        """,
+    )
+    assert report.ok, report.render()
+
+
+def test_known_product_contradicting_return_annotation_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import SimSeconds, Watts
+
+
+        def bogus(power: Watts, interval: SimSeconds) -> Watts:
+            return power * interval
+        """,
+    )
+    assert rule_ids(report) == ["UNIT003"]
+
+
+def test_unsanctioned_product_is_unknown_not_flagged(tmp_path):
+    # Watts * Watts has no entry in the algebra: the result is unknown,
+    # and unknown must stay silent rather than guess a contradiction.
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import Joules, Watts
+
+
+        def bogus(power: Watts, other: Watts) -> Joules:
+            return power * other
+        """,
+    )
+    assert report.ok, report.render()
+
+
+def test_scalar_multiplication_preserves_dimension(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import Watts
+
+
+        def doubled(power: Watts) -> Watts:
+            return power * 2.0
+
+
+        def ratio(a: Watts, b: Watts) -> float:
+            return a / b
+        """,
+    )
+    assert report.ok, report.render()
+
+
+def test_additive_mix_and_comparison_mix_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import Joules, SimSeconds, Watts
+
+
+        def wrong_sum(power: Watts, energy: Joules) -> float:
+            return power + energy
+
+
+        def wrong_compare(deadline: SimSeconds, budget: Joules) -> bool:
+            return deadline < budget
+        """,
+    )
+    assert rule_ids(report) == ["UNIT001", "UNIT002"]
+
+
+def test_unknown_dimensions_never_flagged(tmp_path):
+    # Unannotated, unsuffixed values are unknown: the checker must stay
+    # silent rather than guess.
+    report = lint_source(
+        tmp_path,
+        """
+        def mystery(a, b):
+            return a + b * 1_000_000 - b / a
+        """,
+    )
+    assert report.ok, report.render()
+
+
+def test_call_boundary_checks_keywords_and_positionals(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import MBps, Watts
+
+
+        def sink(rate: MBps) -> None:
+            del rate
+
+
+        def driver(power: Watts) -> None:
+            sink(power)
+            sink(rate=power)
+        """,
+    )
+    assert rule_ids(report) == ["UNIT004"]
+    assert len(report.findings) == 2
+
+
+def test_magic_byte_literal_flagged_but_named_constant_clean(tmp_path):
+    bad = lint_source(
+        tmp_path,
+        """
+        from repro.units import Bytes
+
+
+        def to_mb(size: Bytes) -> float:
+            return size / 1e6
+        """,
+    )
+    assert rule_ids(bad) == ["UNIT005"]
+    good = lint_source(
+        tmp_path,
+        """
+        from repro.units import MB, Bytes
+
+
+        def to_mb(size: Bytes) -> float:
+            return size / MB
+        """,
+    )
+    assert good.ok, good.render()
+
+
+def test_suffix_contradiction_flagged(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import Watts
+
+
+        def leak(power: Watts) -> None:
+            total_seconds = power
+            del total_seconds
+        """,
+    )
+    assert rule_ids(report) == ["UNIT006"]
+
+
+def test_module_constants_seed_inference(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import SimSeconds, Watts
+
+        IDLE_POWER = Watts(4.0)
+
+
+        def wrong(interval: SimSeconds) -> float:
+            return IDLE_POWER + interval
+        """,
+    )
+    assert rule_ids(report) == ["UNIT001"]
+
+
+def test_self_attribute_dims_from_class_body(tmp_path):
+    report = lint_source(
+        tmp_path,
+        """
+        from repro.units import Joules, Watts
+
+
+        class Meter:
+            budget: Watts
+
+            def overdraw(self, energy: Joules) -> bool:
+                return self.budget < energy
+        """,
+    )
+    assert rule_ids(report) == ["UNIT002"]

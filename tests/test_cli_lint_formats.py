@@ -1,0 +1,88 @@
+"""``repro lint`` CLI output contracts: text and ``--json`` formats.
+
+Runs the CLI in-process against the lint fixtures, covering a mixed
+DET+UNIT+PROC run, the suppression counters, and exit codes.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import all_rule_ids
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def run_lint(capsys, *argv):
+    status = main(["lint", *argv])
+    return status, capsys.readouterr().out
+
+
+def test_text_output_on_clean_fixture(capsys):
+    status, out = run_lint(capsys, str(FIXTURES / "det001_good.py"))
+    assert status == 0
+    assert "0 finding(s), 0 suppressed, 1 file(s) checked" in out
+
+
+def test_text_output_lists_findings_with_location(capsys):
+    status, out = run_lint(capsys, str(FIXTURES / "unit001_bad.py"))
+    assert status == 1
+    assert "UNIT001" in out
+    assert "unit001_bad.py:" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    status, out = run_lint(capsys, "--json", str(FIXTURES / "unit001_bad.py"))
+    assert status == 1
+    data = json.loads(out)
+    assert data["ok"] is False
+    assert data["files_checked"] == 1
+    finding = data["findings"][0]
+    assert set(finding) == {"file", "line", "rule", "severity", "message"}
+    assert finding["rule"] == "UNIT001"
+    assert finding["line"] > 0
+    assert data["by_rule"]["UNIT001"] == len(data["findings"])
+
+
+def test_json_mixed_families_in_one_run(capsys):
+    paths = [
+        str(FIXTURES / name)
+        for name in ("det001_bad.py", "unit005_bad.py", "proc002_bad.py")
+    ]
+    status, out = run_lint(capsys, "--json", *paths)
+    assert status == 1
+    data = json.loads(out)
+    assert data["files_checked"] == 3
+    fired = set(data["by_rule"])
+    assert {"DET001", "UNIT005", "PROC002"} <= fired
+    # Every reported rule id is a registered rule.
+    assert fired <= set(all_rule_ids())
+
+
+def test_json_counts_suppressions_by_rule(capsys):
+    status, out = run_lint(capsys, "--json", str(FIXTURES / "suppressed.py"))
+    assert status == 0
+    data = json.loads(out)
+    assert data["ok"] is True
+    assert data["findings"] == []
+    assert sum(data["suppressed_by_rule"].values()) == 3
+    assert set(data["suppressed_by_rule"]) == {"DET001", "DET004"}
+    assert len(data["suppressed"]) == 3
+    assert all(s["rule"] in {"DET001", "DET004"} for s in data["suppressed"])
+
+
+def test_text_audit_and_json_agree_on_suppressions(capsys):
+    _, text_out = run_lint(capsys, "--audit", str(FIXTURES / "suppressed.py"))
+    assert "Suppressions in effect (3):" in text_out
+    _, json_out = run_lint(capsys, "--json", str(FIXTURES / "suppressed.py"))
+    assert sum(json.loads(json_out)["suppressed_by_rule"].values()) == 3
+
+
+def test_json_reports_parse_errors(capsys, tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n", encoding="utf-8")
+    status, out = run_lint(capsys, "--json", str(bad))
+    assert status == 1
+    data = json.loads(out)
+    assert data["ok"] is False
+    assert data["parse_errors"]

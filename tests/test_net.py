@@ -14,7 +14,7 @@ from repro.net import (
     SessionError,
     StorageVolume,
 )
-from repro.sim import Simulator
+from repro.sim import Interrupt, Simulator
 from repro.workload import KB, MB
 
 
@@ -124,6 +124,25 @@ class TestRpc:
         result = sim.run_until_event(sim.process(client.call("server", "slow")))
         assert result == "done"
         assert sim.now > 1.0
+
+    def test_handler_interrupt_reaches_kernel_not_caller(self):
+        # Regression: the dispatch loop once swallowed kernel Interrupts
+        # in its broad handler and forwarded them as RPC errors.  A
+        # teardown interrupt must propagate, not become a response.
+        sim, net = make_net()
+        server = RpcServer(sim, net, "server")
+
+        def stuck():
+            poke = sim.event()
+            sim.call_in(0.5, lambda: poke.fail(Interrupt("teardown")))
+            yield poke
+
+        server.register("stuck", stuck)
+        client = RpcClient(sim, net, "client")
+        sim.process(client.call("server", "stuck", timeout=10.0))
+        with pytest.raises(Interrupt):
+            sim.run()
+        assert server.requests_served == 0
 
     def test_remote_exception(self):
         sim, net = make_net()

@@ -1,13 +1,16 @@
-"""CI gate: the tree itself must pass its own determinism lint.
+"""CI gate: the tree itself must pass its own lint (DET + UNIT + PROC).
 
 This keeps ``python -m repro lint src/repro`` at zero unsuppressed
 findings as part of the default pytest run, and checks the standalone
-``scripts/run_static_analysis.py`` entrypoint's exit-status contract.
-The mypy pass runs only when mypy is installed (the container may not
-ship it); the script skips it gracefully either way.
+``scripts/run_static_analysis.py`` entrypoint's exit-status contract:
+the human-readable report, the machine-readable ``lint-summary`` line,
+and the ``LINT_BASELINE.json`` suppression gate.  The mypy pass runs
+only when mypy is installed (the container may not ship it); the
+script skips it gracefully either way.
 """
 
 import importlib.util
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -20,6 +23,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SCRIPT = REPO_ROOT / "scripts" / "run_static_analysis.py"
 SRC_REPRO = REPO_ROOT / "src" / "repro"
 FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def _load_script_module():
+    spec = importlib.util.spec_from_file_location("run_static_analysis", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def test_tree_has_zero_unsuppressed_findings():
@@ -63,6 +73,69 @@ def test_script_audit_lists_suppressions():
     )
     assert completed.returncode == 0
     assert "Suppressions in effect" in completed.stdout
+
+
+def _summary_line(stdout):
+    for line in stdout.splitlines():
+        if line.startswith("lint-summary: "):
+            return json.loads(line[len("lint-summary: ") :])
+    raise AssertionError(f"no lint-summary line in:\n{stdout}")
+
+
+def test_script_emits_machine_readable_summary():
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--no-mypy",
+            str(FIXTURES / "det001_bad.py"),
+            str(FIXTURES / "proc002_bad.py"),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    summary = _summary_line(completed.stdout)
+    assert summary["files_checked"] == 2
+    assert summary["by_rule"]["DET001"] >= 1
+    assert summary["by_rule"]["PROC002"] >= 1
+
+
+def test_lint_baseline_is_committed_and_tree_is_within_it():
+    baseline_path = REPO_ROOT / "LINT_BASELINE.json"
+    assert baseline_path.exists(), "LINT_BASELINE.json must be committed"
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    allowed = baseline["suppressed_by_rule"]
+    current = Linter().lint_paths([str(SRC_REPRO)]).suppressed_by_rule()
+    for rule_id, count in current.items():
+        assert count <= int(allowed.get(rule_id, 0)), (
+            f"{rule_id}: {count} suppression(s) exceeds baseline"
+        )
+
+
+def test_baseline_gate_fails_on_new_suppressions(tmp_path):
+    module = _load_script_module()
+    report = Linter().lint_paths([str(FIXTURES / "suppressed.py")])
+    assert report.suppressed_by_rule()  # the fixture has waivers
+    empty = tmp_path / "baseline.json"
+    empty.write_text(json.dumps({"suppressed_by_rule": {}}), encoding="utf-8")
+    assert module.check_lint_baseline(report, update=False, baseline_path=empty) == 1
+
+
+def test_baseline_gate_passes_at_or_below_baseline(tmp_path):
+    module = _load_script_module()
+    report = Linter().lint_paths([str(FIXTURES / "suppressed.py")])
+    path = tmp_path / "baseline.json"
+    assert module.check_lint_baseline(report, update=True, baseline_path=path) == 0
+    written = json.loads(path.read_text(encoding="utf-8"))
+    assert written["suppressed_by_rule"] == report.suppressed_by_rule()
+    assert module.check_lint_baseline(report, update=False, baseline_path=path) == 0
+
+
+def test_baseline_gate_skips_when_file_missing(tmp_path):
+    module = _load_script_module()
+    report = Linter().lint_paths([str(FIXTURES / "suppressed.py")])
+    missing = tmp_path / "nope.json"
+    assert module.check_lint_baseline(report, update=False, baseline_path=missing) == 0
 
 
 @pytest.mark.skipif(

@@ -1,0 +1,86 @@
+"""Runtime behaviour of the unit vocabulary and conversion helpers.
+
+Includes regression tests for the unit bugs the UNIT analyzer surfaced:
+the disk model's MB/s property and the rebuild-rate report previously
+divided by hand-rolled 1e6 literals.
+"""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GiB,
+    KB,
+    KiB,
+    MB,
+    MiB,
+    TB,
+    TiB,
+    Bytes,
+    BytesPerSec,
+    Joules,
+    SimSeconds,
+    Watts,
+    bytes_per_sec_to_mbps,
+    bytes_to_mb,
+    joules_to_watts,
+    mb_to_bytes,
+    mbps_to_bytes_per_sec,
+    watt_seconds,
+)
+
+
+def test_decimal_and_binary_scales_are_distinct():
+    assert (KB, MB, GB, TB) == (10**3, 10**6, 10**9, 10**12)
+    assert (KiB, MiB, GiB, TiB) == (1 << 10, 1 << 20, 1 << 30, 1 << 40)
+    assert MB != MiB
+
+
+def test_watt_seconds_round_trips_through_joules():
+    energy = watt_seconds(Watts(12.0), SimSeconds(3600.0))
+    assert energy == Joules(43_200.0)
+    assert joules_to_watts(energy, SimSeconds(3600.0)) == pytest.approx(12.0)
+
+
+def test_joules_to_watts_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        joules_to_watts(Joules(10.0), SimSeconds(0.0))
+
+
+def test_bandwidth_conversions_round_trip():
+    rate = BytesPerSec(300.0 * MB)
+    assert bytes_per_sec_to_mbps(rate) == pytest.approx(300.0)
+    assert mbps_to_bytes_per_sec(bytes_per_sec_to_mbps(rate)) == pytest.approx(rate)
+
+
+def test_byte_conversions():
+    assert mb_to_bytes(4.0) == Bytes(4 * MB)
+    assert bytes_to_mb(Bytes(4 * MB)) == pytest.approx(4.0)
+
+
+def test_disk_throughput_mb_per_second_uses_decimal_mb():
+    # Regression: mb_per_second once divided bytes by a bare 1e6 inline.
+    from repro.disk.model import ThroughputEstimate
+
+    estimate = ThroughputEstimate(
+        spec=None,
+        service_time=SimSeconds(0.01),
+        iops=100.0,
+        bytes_per_second=BytesPerSec(250.0 * MB),
+    )
+    assert estimate.mb_per_second == pytest.approx(250.0)
+
+
+def test_rebuild_rate_mb_s_uses_decimal_mb():
+    # Regression: rate_mb_s once hand-divided by 1e6 without a constant.
+    from repro.reliability.reconstruction import RebuildEstimate
+
+    estimate = RebuildEstimate(
+        strategy="drill",
+        rebuild_bytes=250 * MB,
+        seconds=2.0,
+        network_bytes=0,
+    )
+    assert estimate.rate_mb_s == pytest.approx(125.0)
+    idle = RebuildEstimate(strategy="drill", rebuild_bytes=0, seconds=0.0, network_bytes=0)
+    assert idle.rate_mb_s == 0.0
