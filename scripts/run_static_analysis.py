@@ -7,7 +7,8 @@ any unsuppressed finding or type error is reported, so this doubles as
 the CI gate (``tests/test_static_analysis_clean.py`` runs the same
 checks inside the default pytest run).  The mypy pass applies the
 pyproject strict profile to ``repro.sim``, ``repro.analysis``,
-``repro.obs``, ``repro.power``, ``repro.fabric`` and ``repro.gateway``.
+``repro.obs``, ``repro.power``, ``repro.fabric``, ``repro.gateway``
+and ``repro.shardstore``.
 
 After the human-readable report the script emits one machine-readable
 ``lint-summary: {...}`` line (rule -> finding/suppression counts), and
@@ -17,11 +18,11 @@ baseline fails the run until the waiver is justified and the baseline
 regenerated with ``--update-baseline``.
 
 Default-path invocations also run a perf smoke: the ``alloc_scale``,
-``kernel_throughput`` and ``gateway`` benchmarks at their smoke sizes,
-failing on a >5x wall-clock regression against the committed
-``BENCH_*.json`` baselines (skipped when explicit paths are passed, or
-with ``--no-perf``).  The gateway leg runs with tracing disarmed and is
-gated at 1.1x — the NULL_TRACER no-op proof.
+``kernel_throughput``, ``gateway`` and ``shardstore`` benchmarks at
+their smoke sizes, failing on a >5x wall-clock regression against the
+committed ``BENCH_*.json`` baselines (skipped when explicit paths are
+passed, or with ``--no-perf``).  The gateway leg runs with tracing
+disarmed and is gated at 1.1x — the NULL_TRACER no-op proof.
 
 Usage::
 
@@ -154,6 +155,14 @@ def _baseline_gateway_wall(history: List[Dict]) -> Optional[float]:
     return None
 
 
+def _baseline_shardstore_wall(history: List[Dict]) -> Optional[float]:
+    """wall_seconds of the most recent smoke-shaped shardstore record."""
+    for record in reversed(history):
+        if record.get("smoke") and record.get("wall_seconds"):
+            return float(record["wall_seconds"])
+    return None
+
+
 def run_perf_smoke() -> int:
     """Run the new benchmarks at smoke size; flag >5x regressions.
 
@@ -222,6 +231,25 @@ def run_perf_smoke() -> int:
             f"perf: gateway smoke sweep (tracing off): {wall}s wall "
             f"(baseline {baseline_wall}s, limit {limit:.2f}s "
             f"= {GATEWAY_TRACING_OFF_FACTOR}x + 0.5s grace) {verdict}"
+        )
+        if wall > limit:
+            status = 1
+
+    record = run_benchmark("shardstore", repeat=1, smoke=True)
+    wall = record["wall_seconds"]
+    baseline_path = REPO_ROOT / "BENCH_shardstore.json"
+    if baseline_path.exists():
+        baseline_wall = _baseline_shardstore_wall(json.loads(baseline_path.read_text()))
+    else:
+        baseline_wall = None
+    if baseline_wall is None:
+        print("perf: shardstore: no committed smoke baseline, comparison skipped")
+    else:
+        limit = PERF_REGRESSION_FACTOR * baseline_wall + 0.5
+        verdict = "OK" if wall <= limit else "REGRESSION"
+        print(
+            f"perf: shardstore smoke (packed vs naive): {wall}s wall "
+            f"(baseline {baseline_wall}s, limit {limit:.2f}s) {verdict}"
         )
         if wall > limit:
             status = 1

@@ -16,6 +16,10 @@ history files at the repo root):
   recording latency percentiles, spin-ups and disk energy per point
   (``smoke`` restricts to one load point at a shorter duration for the
   CI perf gate);
+* ``shardstore`` — small-object ingest/retrieval throughput of the
+  packed shard tier vs the naive object-per-request layout
+  (simulated objects per wall second, plus the spin-up/latency/energy
+  outcomes the ``shardstore_small_objects`` experiment asserts on);
 * any registered experiment name (e.g. ``figure5``) — wall time of a
   full experiment run; experiments that declare a ``settle_seconds``
   parameter are run with a nonzero settle so the simulator actually
@@ -317,11 +321,88 @@ def bench_gateway(repeat: int = 1, seed: int = 42, smoke: bool = False) -> Dict:
     )
 
 
+SHARDSTORE_OBJECTS_FULL = 1000
+SHARDSTORE_OBJECTS_SMOKE = 250
+SHARDSTORE_GETS_FULL = 200
+SHARDSTORE_GETS_SMOKE = 50
+
+
+def bench_shardstore(
+    repeat: int = 1, seed: int = 42, smoke: bool = False
+) -> Dict:
+    """Small-object ingest throughput: packed shards vs naive objects.
+
+    Each point runs :func:`repro.experiments.shardstore_small_objects
+    .run_point` on a fresh deployment — the packed variant routes every
+    object through the shardstore (few large flush writes), the naive
+    variant issues one hash-spread gateway request per object — and
+    records simulated objects/sec of wall time alongside the spin-up,
+    latency and energy outcomes.  ``smoke`` shrinks the object count
+    for the CI perf gate.
+    """
+    from repro.experiments import shardstore_small_objects
+
+    num_objects = SHARDSTORE_OBJECTS_SMOKE if smoke else SHARDSTORE_OBJECTS_FULL
+    num_gets = SHARDSTORE_GETS_SMOKE if smoke else SHARDSTORE_GETS_FULL
+    record = _base_record("shardstore", repeat)
+    record["seed"] = seed
+    record["smoke"] = smoke
+    record["num_objects"] = num_objects
+    record["num_gets"] = num_gets
+    points: List[Dict] = []
+    wall_times: List[float] = []
+    registry = MetricsRegistry()
+    for _ in range(max(1, repeat)):
+        points = []
+        started_total = time.perf_counter()
+        for layout in ("packed", "naive"):
+            t0 = time.perf_counter()
+            summary = shardstore_small_objects.run_point(
+                layout,
+                seed=seed,
+                num_objects=num_objects,
+                num_gets=num_gets,
+                metrics=registry,
+            )
+            point_wall = time.perf_counter() - t0
+            points.append(
+                {
+                    "layout": layout,
+                    "objects_per_second": round(num_objects / point_wall, 1)
+                    if point_wall > 0
+                    else None,
+                    "exactly_once": summary["exactly_once"],
+                    "spin_ups": summary["spin_ups"],
+                    "disk_passes": summary["disk_passes"],
+                    "coalesced_reads": summary["coalesced_reads"],
+                    "spaces_touched": summary["spaces_touched"],
+                    "put_p99": round(float(summary["put_p99"]), 3),
+                    "get_p99": round(float(summary["get_p99"]), 3),
+                    "energy_joules": round(float(summary["energy_joules"]), 1),
+                    "wall_seconds": round(point_wall, 4),
+                }
+            )
+        wall_times.append(time.perf_counter() - started_total)
+    record["points"] = points
+    counters = {
+        name: counter.value
+        for name, counter in registry.counters().items()
+        if name.startswith(("shardstore.", "gateway.")) or name == "sim.events"
+    }
+    return _finish_record(
+        record,
+        wall_times,
+        registry.counter("sim.events").value,
+        counters,
+    )
+
+
 #: Pure-suite benchmarks (everything else resolves via EXPERIMENTS).
 BENCHMARKS: Dict[str, Callable[..., Dict]] = {
     "alloc_scale": bench_alloc_scale,
     "kernel_throughput": bench_kernel_throughput,
     "gateway": bench_gateway,
+    "shardstore": bench_shardstore,
 }
 
 

@@ -158,7 +158,12 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
     the exported metric dumps byte for byte.  The gateway_slo leg also
     runs with request tracing armed and compares the canonical trace
     JSONL export byte for byte."""
-    from repro.experiments import figure5, gateway_slo, reliability
+    from repro.experiments import (
+        figure5,
+        gateway_slo,
+        reliability,
+        shardstore_small_objects,
+    )
     from repro.obs import (
         MetricsRegistry,
         RequestTracer,
@@ -187,10 +192,18 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
         trace_dumps.append("\n".join(chunks))
         return {"races": races}
 
+    def run_shardstore(**kwargs):
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        return shardstore_small_objects.run(
+            num_objects=400, num_gets=80, **kwargs
+        )
+
     checks = {
         "figure5": run_figure5,
         "reliability": reliability.run,
         "gateway_slo": run_gateway_slo,
+        "shardstore_small_objects": run_shardstore,
     }
     failures = 0
     report: Dict[str, Dict] = {}

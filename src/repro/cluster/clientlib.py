@@ -11,7 +11,7 @@ automatically — the application only observes a temporarily slow I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.coord.client import CoordSession
 from repro.net.iscsi import IscsiInitiator, IscsiSession, SessionError
@@ -37,6 +37,8 @@ class IoStats:
     bytes_written: int = 0
     remounts: int = 0
     errors_seen: int = 0
+    #: Vectored range reads issued (each serves >= 1 extents).
+    readv_passes: int = 0
 
 
 class MountedSpace:
@@ -61,6 +63,46 @@ class MountedSpace:
         self, offset: int, size: int, trace: TraceContext = NULL_TRACE
     ) -> Generator[Event, None, dict]:
         return self._io(offset, size, is_read=False, trace=trace)
+
+    def readv(
+        self,
+        extents: Sequence[Tuple[int, int]],
+        trace: TraceContext = NULL_TRACE,
+    ) -> Generator[Event, None, dict]:
+        """Vectored range read: serve many ``(offset, size)`` extents.
+
+        The extents travel as one request and the target serves their
+        covering envelope in a single sequential media pass — the
+        transport for the gateway's sub-block coalescing.  Failover
+        behaves exactly like :meth:`read`: a ``SessionError`` triggers
+        a transparent remount and the whole vector retries.
+        """
+        if not extents:
+            raise ValueError("readv needs at least one extent")
+        attempts = 0
+        while True:
+            scope = trace.scope()
+            try:
+                result = yield from self.session.readv(list(extents), scope)
+                self.stats.reads += len(extents)
+                self.stats.readv_passes += 1
+                self.stats.bytes_read += sum(size for _, size in extents)
+                return result
+            except SessionError as exc:
+                trace.invalidate_scopes()
+                if trace.enabled:
+                    trace.event(
+                        "iscsi.session_error",
+                        host=self.session.host_address,
+                        attempt=attempts + 1,
+                        error=str(exc),
+                    )
+                self.stats.errors_seen += 1
+                attempts += 1
+                if attempts > self.client.max_remount_attempts:
+                    trace.phase("failover")
+                    raise StorageUnavailableError(self.space_id)
+                yield from self._remount(trace)
 
     def _io(
         self,

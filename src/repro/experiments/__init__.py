@@ -14,6 +14,7 @@
 | ``host_failover``| §I — 5.8 s single-host recovery                 |
 | ``ablations``   | DESIGN.md §4 — design-choice studies             |
 | ``gateway_slo`` | §IV-F — request tier: batching vs FIFO           |
+| ``shardstore_small_objects`` | §IV-F — packed shards vs naive objects |
 
 Every module declares an ``EXPERIMENT`` (see
 :mod:`repro.experiments.base`), collected here into :data:`EXPERIMENTS`;
@@ -33,6 +34,7 @@ from repro.experiments import (  # noqa: F401
     hdfs_switch,
     host_failover,
     reliability,
+    shardstore_small_objects,
     table1,
     table2,
     table3,
@@ -60,6 +62,7 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
     "reliability": reliability,
     "gateway_slo": gateway_slo,
+    "shardstore_small_objects": shardstore_small_objects,
 }
 
 EXPERIMENTS = ExperimentRegistry()

@@ -14,8 +14,24 @@ queues and schedules requests.  Modules:
   batches through the ClientLib mount path.
 
 See DESIGN.md §9 and the ``gateway_slo`` experiment.
+
+The request surface is object-level (DESIGN.md §12): callers build an
+:class:`ObjectRef` and submit :class:`ReadObject` / :class:`WriteObject`
+/ :class:`ReadRange` ops; the legacy positional
+``submit(tenant, space_id, offset, size)`` shape survives behind a
+``DeprecationWarning`` shim.  Everything callers need — the op types
+and the typed error hierarchy included — is importable from this
+package root.
 """
 
+from repro.gateway.api import (  # noqa: F401
+    GatewayOp,
+    ObjectRef,
+    ReadObject,
+    ReadRange,
+    WriteObject,
+    resolve_op,
+)
 from repro.gateway.gateway import (  # noqa: F401
     Gateway,
     GatewayConfig,
@@ -35,9 +51,11 @@ from repro.gateway.request import (  # noqa: F401
 )
 from repro.gateway.scheduler import (  # noqa: F401
     ColdReadBatchScheduler,
+    DiskPass,
     FifoScheduler,
     PowerAccountant,
     Scheduler,
+    coalesce_batch,
     make_scheduler,
 )
 from repro.gateway.tenants import (  # noqa: F401
@@ -49,17 +67,22 @@ from repro.gateway.tenants import (  # noqa: F401
 __all__ = [
     "AdmissionError",
     "ColdReadBatchScheduler",
+    "DiskPass",
     "FifoScheduler",
     "Gateway",
     "GatewayConfig",
     "GatewayError",
     "GatewayObject",
+    "GatewayOp",
     "GatewayRequest",
     "GatewayStats",
+    "ObjectRef",
     "OpenLoopTrafficGenerator",
     "PendingDisk",
     "PowerAccountant",
     "QueueFullError",
+    "ReadObject",
+    "ReadRange",
     "RequestState",
     "Scheduler",
     "TenantSpec",
@@ -67,6 +90,9 @@ __all__ = [
     "TraceArrival",
     "UnknownTenantError",
     "WeightedFairQueue",
+    "WriteObject",
+    "coalesce_batch",
     "make_scheduler",
     "mount_gateway_spaces",
+    "resolve_op",
 ]

@@ -26,6 +26,7 @@ instead of waiting out the policy's idle timeout.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -36,6 +37,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 from repro.cluster.clientlib import MountedSpace, StorageUnavailableError
@@ -47,9 +49,23 @@ from repro.power.policy import AdaptiveTimeoutPolicy, FixedTimeoutPolicy, run_po
 from repro.sim import Event, Simulator
 from repro.units import SimSeconds, Watts
 
+from repro.gateway.api import (
+    GATEWAY_OP_TYPES,
+    GatewayOp,
+    ObjectRef,
+    ReadObject,
+    WriteObject,
+    resolve_op,
+)
 from repro.gateway.queues import WeightedFairQueue
 from repro.gateway.request import GatewayError, GatewayRequest, RequestState
-from repro.gateway.scheduler import HostLookup, PowerAccountant, make_scheduler
+from repro.gateway.scheduler import (
+    DiskPass,
+    HostLookup,
+    PowerAccountant,
+    coalesce_batch,
+    make_scheduler,
+)
 from repro.gateway.tenants import TenantSpec
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -85,6 +101,12 @@ class GatewayConfig:
     run_spin_down_policy: bool = True
     #: Use §IV-F's thrash-adaptive policy instead of the fixed timeout.
     adaptive_spin_down: bool = False
+    #: Sub-block coalescing window: reads in the same space whose
+    #: extents fall within this many bytes of each other share one
+    #: disk pass (0 merges only overlapping/adjacent extents).  The
+    #: shardstore sets this to the shard capacity so every same-shard
+    #: retrieval in a batch rides one sequential pass.
+    coalesce_gap_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -117,6 +139,10 @@ class GatewayStats:
     slo_misses: int = 0
     batches: int = 0
     reclaim_spin_downs: int = 0
+    #: Physical media operations issued (after sub-block coalescing).
+    disk_passes: int = 0
+    #: Read requests served as passengers of another request's pass.
+    coalesced_reads: int = 0
     latencies: List[float] = field(default_factory=list)
     per_tenant: Dict[str, TenantStats] = field(default_factory=dict)
 
@@ -179,6 +205,8 @@ class Gateway:
         self._m_failed = metrics.counter("gateway.failed")
         self._m_slo_miss = metrics.counter("gateway.slo_miss")
         self._m_batches = metrics.counter("gateway.batches")
+        self._m_disk_passes = metrics.counter("gateway.disk_passes")
+        self._m_coalesced = metrics.counter("gateway.coalesced_reads")
         self._m_reclaims = metrics.counter("gateway.reclaim_spin_downs")
         self._m_latency = metrics.histogram("gateway.latency_seconds")
         self._m_queue_wait = metrics.histogram("gateway.queue_wait_seconds")
@@ -270,42 +298,91 @@ class Gateway:
 
     def submit(
         self,
-        tenant: str,
-        space_id: str,
-        offset: int,
-        size: int,
+        request: Union[GatewayOp, str, None] = None,
+        space_id: Optional[str] = None,
+        offset: Optional[int] = None,
+        size: Optional[int] = None,
         is_read: bool = True,
+        *,
+        tenant: Optional[str] = None,
     ) -> GatewayRequest:
-        """Admit one request (or raise a typed admission error)."""
+        """Admit one typed op (or raise a typed admission error).
+
+        The supported call shape is a single :class:`ReadObject`,
+        :class:`WriteObject` or :class:`ReadRange`.  The legacy
+        positional shape ``submit(tenant, space_id, offset, size,
+        is_read)`` (and its keyword spelling with ``tenant=``) still
+        works but emits a :class:`DeprecationWarning` and adapts onto
+        the typed path.
+        """
+        if isinstance(request, GATEWAY_OP_TYPES):
+            if space_id is not None or offset is not None or size is not None:
+                raise TypeError(
+                    "submit() takes a single typed op; positional block "
+                    "coordinates cannot be combined with it"
+                )
+            op = request
+        else:
+            legacy_tenant = tenant if tenant is not None else request
+            if (
+                not isinstance(legacy_tenant, str)
+                or space_id is None
+                or offset is None
+                or size is None
+            ):
+                raise TypeError(
+                    "submit() expects a ReadObject/WriteObject/ReadRange "
+                    "(or the deprecated tenant/space_id/offset/size shape)"
+                )
+            warnings.warn(
+                "Gateway.submit(tenant, space_id, offset, size, is_read) is "
+                "deprecated; submit a ReadObject/WriteObject/ReadRange "
+                "carrying an ObjectRef instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            ref = ObjectRef(space_id=space_id, offset=offset, size=size)
+            if is_read:
+                op = ReadObject(tenant=legacy_tenant, ref=ref)
+            else:
+                op = WriteObject(tenant=legacy_tenant, ref=ref)
+        return self.submit_op(op)
+
+    def submit_op(self, op: GatewayOp) -> GatewayRequest:
+        """Admit one typed op (the non-overloaded entry point)."""
+        op_space, op_offset, op_size, op_is_read = resolve_op(op)
+        op_tenant = op.tenant
         self.stats.submitted += 1
         self._m_submitted.inc()
-        spec = self._tenants.get(tenant)
-        disk_id = self._disk_of_space.get(space_id)
+        spec = self._tenants.get(op_tenant)
+        disk_id = self._disk_of_space.get(op_space)
         if disk_id is None:
-            raise GatewayError(f"unknown space {space_id!r}")
+            raise GatewayError(f"unknown space {op_space!r}")
         now = self.sim.now
         request = GatewayRequest(
             request_id=self._next_request_id,
-            tenant=tenant,
-            space_id=space_id,
+            tenant=op_tenant,
+            space_id=op_space,
             disk_id=disk_id,
-            offset=offset,
-            size=size,
-            is_read=is_read,
+            offset=op_offset,
+            size=op_size,
+            is_read=op_is_read,
             arrival=now,
             deadline=now + (spec.slo_seconds if spec is not None else 0.0),
+            ref=op.ref,
         )
         if self._tracer.enabled:
             request.trace = self._tracer.start(
                 "gateway.request",
                 kind="request",
-                tenant=tenant,
+                tenant=op_tenant,
                 request_id=request.request_id,
-                space_id=space_id,
+                space_id=op_space,
                 disk_id=disk_id,
-                size=size,
-                is_read=is_read,
+                size=op_size,
+                is_read=op_is_read,
                 deadline=request.deadline,
+                object_id=op.ref.object_id,
             )
         try:
             self.queue.push(request)
@@ -313,7 +390,7 @@ class Gateway:
             self.stats.rejected += 1
             self._m_rejected.inc()
             if spec is not None:
-                self.stats.per_tenant[tenant].rejected += 1
+                self.stats.per_tenant[op_tenant].rejected += 1
             request.trace.event("admission.rejected", reason=str(exc))
             request.trace.finish("rejected")
             raise
@@ -422,29 +499,66 @@ class Gateway:
         self, disk_id: str, batch: List[GatewayRequest]
     ) -> Generator[Event, None, None]:
         try:
-            for request in batch:
-                space = self._spaces[request.space_id]
-                # Time spent behind earlier requests of the same batch.
-                request.trace.phase("batch_wait")
-                try:
-                    if request.is_read:
-                        yield from space.read(
-                            request.offset, request.size, trace=request.trace
-                        )
-                    else:
-                        yield from space.write(
-                            request.offset, request.size, trace=request.trace
-                        )
-                except StorageUnavailableError as exc:
-                    self._finish(request, failure=str(exc))
-                else:
-                    self._finish(request, failure=None)
+            passes = coalesce_batch(batch, self.config.coalesce_gap_bytes)
+            for disk_pass in passes:
+                yield from self._serve_pass(disk_pass)
         finally:
             self._in_flight.pop(disk_id, None)
             power = self._power
             if power is not None:
                 power.release(disk_id)
             self._wake()
+
+    def _serve_pass(self, disk_pass: DiskPass) -> Generator[Event, None, None]:
+        """Issue one physical media operation; complete every member.
+
+        Single-member passes go through the plain read/write path (the
+        legacy behaviour, byte for byte).  Multi-member read passes
+        issue one vectored read over the members' extents — the lead
+        (first-sorted) request's trace rides the wire; passenger
+        requests get their post-queue time attributed to ``transfer``
+        once the shared pass lands.
+        """
+        space = self._spaces[disk_pass.space_id]
+        members = disk_pass.requests
+        self.stats.disk_passes += 1
+        self._m_disk_passes.inc()
+        for request in members:
+            # Time spent behind earlier passes of the same batch.
+            request.trace.phase("batch_wait")
+        try:
+            if len(members) == 1:
+                request = members[0]
+                if request.is_read:
+                    yield from space.read(
+                        request.offset, request.size, trace=request.trace
+                    )
+                else:
+                    yield from space.write(
+                        request.offset, request.size, trace=request.trace
+                    )
+            else:
+                self.stats.coalesced_reads += len(members) - 1
+                self._m_coalesced.inc(len(members) - 1)
+                lead = members[0]
+                extents = [
+                    (request.offset, request.size) for request in members
+                ]
+                yield from space.readv(extents, trace=lead.trace)
+                for request in members[1:]:
+                    request.trace.event(
+                        "gateway.coalesced",
+                        lead_request_id=lead.request_id,
+                        pass_offset=disk_pass.offset,
+                        pass_size=disk_pass.size,
+                    )
+                    request.trace.phase("transfer")
+        except StorageUnavailableError as exc:
+            for request in members:
+                self._finish(request, failure=str(exc))
+        else:
+            for request in members:
+                self._finish(request, failure=None)
 
     def _finish(self, request: GatewayRequest, failure: Optional[str]) -> None:
         request.completed_at = self.sim.now
@@ -458,6 +572,7 @@ class Gateway:
                 tenant.failed += 1
             request.trace.annotate(slo_missed=request.missed_slo())
             request.trace.finish("failed")
+            self._run_completion(request)
             return
         request.state = RequestState.COMPLETED
         latency = request.completed_at - request.arrival
@@ -477,6 +592,15 @@ class Gateway:
                 tenant.slo_misses += 1
         request.trace.annotate(slo_missed=missed)
         request.trace.finish("ok")
+        self._run_completion(request)
+
+    def _run_completion(self, request: GatewayRequest) -> None:
+        """Fire the request's completion hook exactly once."""
+        hook = request.on_complete
+        if hook is None:
+            return
+        request.on_complete = None
+        hook(request)
 
     def _reclaim_idle(self) -> bool:
         """Spin down one idle disk to free budget for queued work.
@@ -562,6 +686,8 @@ class Gateway:
             "failed": stats.failed,
             "slo_misses": stats.slo_misses,
             "batches": stats.batches,
+            "disk_passes": stats.disk_passes,
+            "coalesced_reads": stats.coalesced_reads,
             "reclaim_spin_downs": stats.reclaim_spin_downs,
             "latency_mean": mean,
             "latency_p50": _percentile(stats.latencies, 50.0),

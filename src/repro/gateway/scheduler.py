@@ -22,23 +22,34 @@ earliest-deadline-first keeps SLO misses down.
 benchmark compares against: strict global arrival order, one request
 per dispatch, head-of-line blocking when the budget is exhausted — the
 behaviour of a request tier with no power awareness at all.
+
+:func:`coalesce_batch` is the sub-block pass planner: once a batch is
+granted, read requests landing in the same space whose extents overlap
+(or fall within a configured gap) are merged into one :class:`DiskPass`
+— one sequential media operation serving many object reads.  This is
+what makes shardstore retrievals cheap: N objects packed in one shard
+cost one disk pass, not N seeks.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.disk.device import SimulatedDisk
 from repro.disk.states import DiskPowerState
 
 from repro.gateway.queues import PendingDisk
+from repro.gateway.request import GatewayRequest
 from repro.units import Watts
 
 __all__ = [
     "ColdReadBatchScheduler",
+    "DiskPass",
     "FifoScheduler",
     "PowerAccountant",
     "Scheduler",
+    "coalesce_batch",
     "make_scheduler",
 ]
 
@@ -158,6 +169,86 @@ class FifoScheduler:
     def batch_limit(self, entry: PendingDisk) -> int:
         del entry
         return 1
+
+
+@dataclass
+class DiskPass:
+    """One physical media operation serving one or more batch requests.
+
+    The envelope ``[offset, offset + size)`` covers every member's
+    extent; for multi-member passes the gateway issues a single
+    vectored read (``MountedSpace.readv``) over the envelope and
+    completes every member from it.
+    """
+
+    space_id: str
+    offset: int
+    size: int
+    is_read: bool
+    requests: List[GatewayRequest] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+def coalesce_batch(
+    batch: Sequence[GatewayRequest], gap_bytes: int = 0
+) -> List[DiskPass]:
+    """Plan the disk passes for one granted batch.
+
+    Reads within the same space are sorted by (offset, request_id) and
+    merged whenever the next extent starts within ``gap_bytes`` of the
+    running envelope's end (0 merges only overlapping/adjacent
+    extents).  Writes are never merged — each is its own pass, in batch
+    order.  Pass order follows each pass's earliest member's position
+    in the original batch, so a batch with nothing to merge serves in
+    exactly the legacy order.
+    """
+    if gap_bytes < 0:
+        raise ValueError("gap_bytes must be >= 0")
+    position: Dict[int, int] = {
+        request.request_id: index for index, request in enumerate(batch)
+    }
+    passes: List[DiskPass] = []
+    reads_by_space: Dict[str, List[GatewayRequest]] = {}
+    for request in batch:
+        if request.is_read:
+            reads_by_space.setdefault(request.space_id, []).append(request)
+        else:
+            passes.append(
+                DiskPass(
+                    space_id=request.space_id,
+                    offset=request.offset,
+                    size=request.size,
+                    is_read=False,
+                    requests=[request],
+                )
+            )
+    for space_id in sorted(reads_by_space):
+        ordered = sorted(
+            reads_by_space[space_id],
+            key=lambda request: (request.offset, request.request_id),
+        )
+        current: Optional[DiskPass] = None
+        for request in ordered:
+            if current is not None and request.offset <= current.end + gap_bytes:
+                new_end = max(current.end, request.offset + request.size)
+                current.size = new_end - current.offset
+                current.requests.append(request)
+                continue
+            current = DiskPass(
+                space_id=space_id,
+                offset=request.offset,
+                size=request.size,
+                is_read=True,
+                requests=[request],
+            )
+            passes.append(current)
+    passes.sort(
+        key=lambda p: min(position[request.request_id] for request in p.requests)
+    )
+    return passes
 
 
 Scheduler = Union[ColdReadBatchScheduler, FifoScheduler]

@@ -20,11 +20,12 @@ tenant never perturbs another tenant's arrival sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Generator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Generator, List, Sequence, Tuple, Union
 
 from repro.sim import Event, RngRegistry, Simulator
 from repro.workload.specs import MB
 
+from repro.gateway.api import ObjectRef, ReadObject, WriteObject
 from repro.gateway.request import AdmissionError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -169,14 +170,14 @@ class OpenLoopTrafficGenerator:
         self, spec: TenantSpec, space_id: str, offset: int, size: int, is_read: bool
     ) -> None:
         traffic = self.stats[spec.name]
+        ref = ObjectRef(space_id=space_id, offset=offset, size=size)
+        op: Union[ReadObject, WriteObject]
+        if is_read:
+            op = ReadObject(tenant=spec.name, ref=ref)
+        else:
+            op = WriteObject(tenant=spec.name, ref=ref)
         try:
-            self.gateway.submit(
-                tenant=spec.name,
-                space_id=space_id,
-                offset=offset,
-                size=size,
-                is_read=is_read,
-            )
+            self.gateway.submit(op)
         except AdmissionError:
             traffic.rejected += 1
         else:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.disk.device import IoRequest, SimulatedDisk
 from repro.net.network import Network
@@ -84,6 +84,7 @@ class IscsiTargetServer:
         self.rpc.register("iscsi.login", self._login)
         self.rpc.register("iscsi.logout", self._logout)
         self.rpc.register("iscsi.io", self._io)
+        self.rpc.register("iscsi.readv", self._readv)
         self.rpc.register("iscsi.list_targets", self._list_targets)
 
     # -- target management (called by the EndPoint) -------------------------
@@ -137,6 +138,42 @@ class IscsiTargetServer:
         self._m_bytes.inc(size)
         return {"ok": True, "service_time": service_time}
 
+    def _readv(
+        self,
+        session_id: int,
+        extents: Sequence[Tuple[Bytes, Bytes]],
+        trace_scope: TraceScope = NULL_SCOPE,
+    ):
+        """Serve a vector of read extents as one sequential media pass.
+
+        The disk sees a single I/O over the covering envelope
+        ``[min(offset), max(offset + size))`` — the whole point of
+        sub-block coalescing: passengers between the envelope's edges
+        cost sequential bandwidth, not extra seeks.
+        """
+        target_name = self._sessions.get(session_id)
+        if target_name is None:
+            raise SessionError(f"stale session {session_id}")
+        volume = self._volumes.get(target_name)
+        if volume is None:
+            raise SessionError(f"target {target_name!r} withdrawn")
+        if not extents:
+            raise ValueError("iscsi.readv needs at least one extent")
+        start = min(offset for offset, _ in extents)
+        end = max(offset + size for offset, size in extents)
+        envelope = Bytes(end - start)
+        service_time = yield volume.submit(
+            Bytes(start), envelope, True, trace_scope
+        )
+        self._m_ios.inc()
+        self._m_bytes.inc(envelope)
+        return {
+            "ok": True,
+            "service_time": service_time,
+            "extents": len(extents),
+            "envelope_bytes": envelope,
+        }
+
 
 class IscsiSession:
     """An initiator-side logged-in session."""
@@ -157,6 +194,46 @@ class IscsiSession:
         self, offset: Bytes, size: Bytes, scope: TraceScope = NULL_SCOPE
     ) -> Generator[Event, None, dict]:
         return self._io(offset, size, is_read=False, scope=scope)
+
+    def readv(
+        self,
+        extents: List[Tuple[Bytes, Bytes]],
+        scope: TraceScope = NULL_SCOPE,
+    ) -> Generator[Event, None, dict]:
+        """Vectored read: one round trip, one media pass, many extents.
+
+        The request ships the extent list (small); the response carries
+        the covering envelope's bytes back — the transfer cost of
+        coalescing is modelled honestly, passengers included.
+        """
+        if not self.connected:
+            raise SessionError("session closed")
+        if not extents:
+            raise ValueError("readv needs at least one extent")
+        start = min(offset for offset, _ in extents)
+        end = max(offset + size for offset, size in extents)
+        request_size = 256 + 16 * len(extents)
+        response_size = 256 + (end - start)
+        extra = {}
+        if scope.enabled:
+            extra["trace_scope"] = scope
+        try:
+            result = yield from self.initiator.rpc.call(
+                self.host_address,
+                "iscsi.readv",
+                self.session_id,
+                tuple(extents),
+                timeout=self.initiator.io_timeout,
+                request_size=request_size,
+                response_size=response_size,
+                **extra,
+            )
+        except (RpcTimeout, RemoteError) as exc:
+            self.connected = False
+            self.initiator._m_session_errors.inc()
+            raise SessionError(str(exc)) from exc
+        scope.phase("network")
+        return result
 
     def _io(
         self,

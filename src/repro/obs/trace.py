@@ -67,6 +67,8 @@ COMPONENTS: Tuple[str, ...] = (
     "bandwidth_throttle",  # protocol overhead, fabric hops, chunking, turnaround
     "transfer",            # media transfer at the platter rate
     "failover",            # session recovery: remount + doomed-attempt residue
+    "pack_wait",           # object buffered in an open shard awaiting flush
+    "flush",               # shard flush in flight (buffer -> durable media)
     "other",               # closing remainder (unattributed tail)
 )
 

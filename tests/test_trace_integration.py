@@ -19,6 +19,8 @@ from repro.experiments import gateway_slo
 from repro.gateway import (
     Gateway,
     GatewayConfig,
+    ObjectRef,
+    ReadObject,
     TenantSpec,
     mount_gateway_spaces,
 )
@@ -90,7 +92,7 @@ def test_clean_run_attribution_identity():
 
     def burst():
         for i in range(4):
-            requests.append(gateway.submit("t0", target.space_id, i * MB, 1 * MB))
+            requests.append(gateway.submit(ReadObject("t0", ObjectRef(target.space_id, i * MB, 1 * MB))))
 
     dep.sim.call_in(0.0, burst)
     drain(dep, gateway)
@@ -120,7 +122,7 @@ def test_mid_batch_crash_remount_attribution_identity():
 
     def burst():
         for i in range(6):
-            requests.append(gateway.submit("t0", target.space_id, i * MB, 1 * MB))
+            requests.append(gateway.submit(ReadObject("t0", ObjectRef(target.space_id, i * MB, 1 * MB))))
 
     dep.sim.call_in(0.0, burst)
     dep.sim.run(until=dep.sim.now + 8.05)
@@ -185,7 +187,7 @@ def test_rejected_requests_are_traced_as_rejected():
     def flood():
         for i in range(TENANT.max_queue_depth + 8):
             try:
-                gateway.submit("t0", target.space_id, 0, 1 * MB)
+                gateway.submit(ReadObject("t0", ObjectRef(target.space_id, 0, 1 * MB)))
             except Exception:
                 pass
         done.append(True)
