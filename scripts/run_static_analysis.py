@@ -22,7 +22,10 @@ Default-path invocations also run a perf smoke: the ``alloc_scale``,
 their smoke sizes, failing on a >5x wall-clock regression against the
 committed ``BENCH_*.json`` baselines (skipped when explicit paths are
 passed, or with ``--no-perf``).  The gateway leg runs with tracing
-disarmed and is gated at 1.1x — the NULL_TRACER no-op proof.
+disarmed and is gated at 1.1x — the NULL_TRACER no-op proof.  The
+kernel leg also compares the calendar-queue scheduler against the heap
+reference at 16/240/1920 concurrent timers and fails if the calendar
+falls behind heap by more than 1.5x at any depth.
 
 Usage::
 
@@ -51,6 +54,11 @@ PERF_REGRESSION_FACTOR = 5.0
 #: the proof that instrumenting the request path costs nothing when
 #: disarmed.
 GATEWAY_TRACING_OFF_FACTOR = 1.1
+#: The calendar queue must deliver at least 1/1.5 of the heap
+#: reference's throughput at every compared queue depth (in practice it
+#: matches at fan 16 and pulls ahead at 240/1920; 1.5 absorbs
+#: single-core scheduler noise at smoke sizes).
+KERNEL_SCHEDULER_FACTOR = 1.5
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -213,6 +221,24 @@ def run_perf_smoke() -> int:
             f"(baseline {baseline_rate:.0f} ev/s, floor {floor:.0f} ev/s) {verdict}"
         )
         if rate < floor:
+            status = 1
+    # Scheduler comparison: the calendar queue must stay competitive
+    # with the heap reference at every queue depth — its whole point is
+    # not degrading as pending-timer count grows, so a calendar run
+    # slower than heap/KERNEL_SCHEDULER_FACTOR at any fan is a
+    # structural regression (window width adaptation gone wrong), not
+    # noise.
+    for point in record["scheduler_comparison"]:
+        heap_rate = point["heap_events_per_second"]
+        calendar_rate = point["calendar_events_per_second"]
+        floor = heap_rate / KERNEL_SCHEDULER_FACTOR
+        verdict = "OK" if calendar_rate >= floor else "REGRESSION"
+        print(
+            f"perf: kernel scheduler fan {point['fan_out']}: "
+            f"calendar {calendar_rate:.0f} ev/s vs heap {heap_rate:.0f} ev/s "
+            f"(floor {floor:.0f} ev/s) {verdict}"
+        )
+        if calendar_rate < floor:
             status = 1
 
     record = run_benchmark("gateway", repeat=1, smoke=True)

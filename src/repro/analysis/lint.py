@@ -66,6 +66,7 @@ class LintConfig:
         "repro/monitor.py",
         "repro/__main__.py",
         "repro/benchmarks/suite.py",
+        "repro/experiments/campaign.py",
     )
 
 

@@ -269,9 +269,10 @@ class ProcBlockingCallRule(_ProcRule):
 
 
 #: Callback-registration shapes: <x>.callbacks.append(fn),
-#: <x>.add_callback(fn), sim.call_at(t, fn) / sim.call_in(dt, fn).
+#: <x>.add_callback(fn), sim.call_at(t, fn) / sim.call_in(dt, fn) /
+#: sim.defer(dt, fn).
 _REGISTER_ATTRS = {"add_callback"}
-_SCHEDULE_ATTRS = {"call_at", "call_in"}
+_SCHEDULE_ATTRS = {"call_at", "call_in", "defer"}
 
 #: Mutating method names on enclosing-scope containers.
 _MUTATING_METHODS = {

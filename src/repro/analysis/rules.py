@@ -232,6 +232,7 @@ class WallClockRule(Rule):
 _SCHEDULING_CALLS = {
     "call_at",
     "call_in",
+    "defer",
     "fail",
     "process",
     "put",
@@ -426,6 +427,16 @@ class RandomShadowRule(Rule):
             "binding the name 'random' shadows the stdlib module and hides "
             "direct-call hazards; name the stream explicitly (e.g. 'rand')"
         )
+        # Methods live in the class namespace, not any calling scope, so
+        # a ``def random(self)`` (e.g. a Protocol mirroring the
+        # ``random.Random`` API) can never shadow the module.
+        methods = {
+            stmt
+            for klass in ast.walk(ctx.tree)
+            if isinstance(klass, ast.ClassDef)
+            for stmt in klass.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Assign):
                 for target in node.targets:
@@ -457,7 +468,7 @@ class RandomShadowRule(Rule):
                 for arg in all_args:
                     if arg.arg == "random":
                         yield self.finding(ctx, arg, message)
-                if node.name == "random":
+                if node.name == "random" and node not in methods:
                     yield self.finding(ctx, node, message)
             elif isinstance(node, (ast.Import, ast.ImportFrom)):
                 for alias in node.names:

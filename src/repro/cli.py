@@ -15,6 +15,8 @@ Usage::
     python -m repro bench gateway        # gateway offered-load sweep
     python -m repro trace                # traced run + latency attribution
     python -m repro trace --format chrome --out trace.json  # Perfetto file
+    python -m repro campaign figure5 --seeds 1,2,3,4 \
+        --set settle_seconds=0.0,2.0 --workers 4  # cached sweep grid
 
 ``run``, ``validate``, ``check-determinism`` and ``bench`` share the
 same ``--json`` / ``--seed`` flags: ``--json`` switches the command's
@@ -153,12 +155,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_check_determinism(args: argparse.Namespace) -> int:
-    """Run the replay-sensitive experiments twice with the race detector
-    and the metrics registry armed; compare execution-order digests and
-    the exported metric dumps byte for byte.  The gateway_slo leg also
-    runs with request tracing armed and compares the canonical trace
-    JSONL export byte for byte."""
+    """Run the replay-sensitive experiments once under the ``heap``
+    reference scheduler and once under the ``calendar`` scheduler with
+    the race detector and the metrics registry armed; compare
+    execution-order digests and the exported metric dumps byte for
+    byte.  Because the two runs use different event-queue
+    implementations, a match certifies both replay determinism and the
+    calendar queue's ordering contract in one pass.  The gateway_slo
+    leg also runs with request tracing armed and compares the canonical
+    trace JSONL export byte for byte.  A final leg runs *every*
+    registered experiment under both schedulers and compares the full
+    result JSON documents."""
     from repro.experiments import (
+        EXPERIMENTS,
         figure5,
         gateway_slo,
         reliability,
@@ -170,7 +179,7 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
         export_json,
         export_trace_jsonl,
     )
-    from repro.sim import EventDigest
+    from repro.sim import EventDigest, use_scheduler
 
     trace_dumps: List[str] = []
 
@@ -211,12 +220,13 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
         digests: List[str] = []
         dumps: List[str] = []
         races: List = []
-        for _ in range(2):
+        for scheduler_name in ("heap", "calendar"):
             digest = EventDigest()
             registry = MetricsRegistry()
-            result = runner(
-                detect_races=True, event_digest=digest, metrics=registry
-            )
+            with use_scheduler(scheduler_name):
+                result = runner(
+                    detect_races=True, event_digest=digest, metrics=registry
+                )
             digests.append(digest.hexdigest())
             dumps.append(export_json(registry))
             races = result.get("races", [])
@@ -235,17 +245,37 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
         if not args.as_json:
             print(f"{name}:")
             print(f"  replay digest: {digests[0][:16]}…  "
-                  f"{'identical across runs' if identical else 'MISMATCH: ' + digests[1][:16]}")
+                  f"{'identical heap vs calendar' if identical else 'MISMATCH: ' + digests[1][:16]}")
             print(f"  metric dump: "
-                  f"{'byte-identical across runs' if metrics_identical else 'MISMATCH'}")
+                  f"{'byte-identical heap vs calendar' if metrics_identical else 'MISMATCH'}")
             if "trace_identical" in report[name]:
                 print(f"  trace export: "
-                      f"{'byte-identical across runs' if trace_identical else 'MISMATCH'}")
+                      f"{'byte-identical heap vs calendar' if trace_identical else 'MISMATCH'}")
             print(f"  same-timestamp races: {len(races)}")
             for race in races:
                 print(f"    {race.render()}")
         if not identical or not metrics_identical or not trace_identical or races:
             failures += 1
+
+    scheduler_report: Dict[str, bool] = {}
+    for name in EXPERIMENTS.names():
+        experiment = EXPERIMENTS.get(name)
+        overrides = _experiment_overrides(experiment, args.seed)
+        documents: List[str] = []
+        for scheduler_name in ("heap", "calendar"):
+            with use_scheduler(scheduler_name):
+                documents.append(experiment.run(**overrides).to_json())
+        scheduler_report[name] = documents[0] == documents[1]
+    report["scheduler_equivalence"] = scheduler_report
+    equivalent = all(scheduler_report.values())
+    if not equivalent:
+        failures += 1
+    if not args.as_json:
+        mismatched = sorted(n for n, ok in scheduler_report.items() if not ok)
+        print("scheduler equivalence (heap vs calendar, all experiments):")
+        print(f"  {len(scheduler_report)} experiments: "
+              + ("result JSON byte-identical"
+                 if equivalent else f"MISMATCH in {', '.join(mismatched)}"))
     if args.as_json:
         print(json.dumps({"checks": report, "ok": failures == 0},
                          indent=2, sort_keys=True))
@@ -368,8 +398,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if "events_per_second_fast" in record:
                 print(
                     f"  kernel: {record['events_per_second_fast']:.0f} ev/s fast, "
+                    f"{record['events_per_second_eventpath']:.0f} ev/s event path, "
                     f"{record['events_per_second_instrumented']:.0f} ev/s "
                     f"instrumented ({record['fast_path_uplift']}x uplift)"
+                )
+            for point in record.get("scheduler_comparison", []):
+                print(
+                    f"  fan {point['fan_out']:>4}: "
+                    f"heap {point['heap_events_per_second']:.0f} ev/s, "
+                    f"calendar {point['calendar_events_per_second']:.0f} ev/s "
+                    f"({point['calendar_uplift']}x)"
                 )
             for point in record.get("sweep", []):
                 print(
@@ -381,6 +419,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.as_json:
         print(json.dumps(records, indent=2, sort_keys=True))
     return 0
+
+
+def _parse_sweep_values(raw: str) -> List[object]:
+    """``"0.0,2.0"`` → ``[0.0, 2.0]`` (JSON scalars, else strings)."""
+    values: List[object] = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        try:
+            values.append(json.loads(chunk))
+        except ValueError:
+            values.append(chunk)
+    return values
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Fan one experiment over a seed × sweep grid with cached cells."""
+    from pathlib import Path
+
+    from repro.experiments.campaign import (
+        CampaignError,
+        CampaignSpec,
+        run_campaign,
+    )
+
+    sweep: Dict[str, List[object]] = {}
+    for assignment in args.set or []:
+        name, _, raw = assignment.partition("=")
+        if not _ or not name or not raw:
+            print(f"bad --set {assignment!r}; expected name=v1,v2,…",
+                  file=sys.stderr)
+            return 2
+        if name in sweep:
+            print(f"duplicate --set for {name!r}", file=sys.stderr)
+            return 2
+        sweep[name] = _parse_sweep_values(raw)
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else []
+    try:
+        spec = CampaignSpec.build(args.experiment, seeds=seeds, sweep=sweep)
+        report = run_campaign(
+            spec,
+            cache_dir=Path(args.cache_dir),
+            workers=args.workers,
+            refresh=args.refresh,
+        )
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    anchors_ok = all(
+        all((outcome.result.get("anchors") or {}).values())
+        for outcome in report.outcomes
+    )
+    return 0 if anchors_ok else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -453,6 +547,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common_flags(trace_parser)
     trace_parser.set_defaults(fn=_cmd_trace)
+
+    campaign_parser = sub.add_parser(
+        "campaign",
+        help="fan an experiment over a seed/sweep grid with cached cells",
+    )
+    campaign_parser.add_argument("experiment")
+    campaign_parser.add_argument(
+        "--seeds",
+        default="",
+        help="comma-separated seed list (experiment must declare 'seed')",
+    )
+    campaign_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="PARAM=V1,V2,…",
+        help="sweep a declared parameter over comma-separated values "
+             "(repeatable; cells are the cartesian product)",
+    )
+    campaign_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for uncached cells (<=1 runs inline)",
+    )
+    campaign_parser.add_argument(
+        "--cache-dir",
+        default=".campaigns",
+        help="content-addressed result cache (default: .campaigns)",
+    )
+    campaign_parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="ignore cached cells and recompute (entries are overwritten)",
+    )
+    campaign_parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the campaign report as JSON",
+    )
+    campaign_parser.set_defaults(fn=_cmd_campaign)
 
     bench_parser = sub.add_parser(
         "bench",

@@ -1,6 +1,18 @@
 """Deterministic discrete-event simulation kernel for the UStore repro."""
 
-from repro.sim.kernel import Event, Interrupt, SimulationError, Simulator, Timeout
+from repro.sim.kernel import (
+    SCHEDULERS,
+    CalendarQueue,
+    Event,
+    HeapScheduler,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+    default_scheduler,
+    set_default_scheduler,
+    use_scheduler,
+)
 from repro.sim.process import Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import RngRegistry
@@ -14,14 +26,17 @@ from repro.sim.trace import (
 )
 
 __all__ = [
+    "CalendarQueue",
     "Container",
     "Counter",
     "Event",
     "EventDigest",
+    "HeapScheduler",
     "Interrupt",
     "Process",
     "Resource",
     "RngRegistry",
+    "SCHEDULERS",
     "SimulationError",
     "Simulator",
     "Store",
@@ -29,5 +44,8 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "Timeout",
+    "default_scheduler",
     "records_digest",
+    "set_default_scheduler",
+    "use_scheduler",
 ]

@@ -5,6 +5,22 @@ The kernel is a deterministic event loop: callbacks are ordered by
 same seeds replay identically.  Generator-based processes are layered on
 top in :mod:`repro.sim.process`.
 
+Two interchangeable schedulers implement that total order (see
+DESIGN.md §13):
+
+* :class:`CalendarQueue` (the default) — a calendar/ladder structure
+  that keeps the near future as one lazily sorted window and everything
+  beyond the window horizon as an unsorted spill list, so pushes are
+  plain appends on the hot path;
+* :class:`HeapScheduler` — the retained ``heapq`` reference
+  implementation, selectable via ``Simulator(scheduler="heap")`` or
+  :func:`set_default_scheduler`, and the oracle the property tests
+  compare the calendar queue against.
+
+Both pop scheduled items in exactly the same ``(time, priority, seq)``
+order, so :class:`repro.sim.trace.EventDigest` replay fingerprints are
+byte-identical whichever scheduler runs a simulation.
+
 This module depends only on the standard library and the (equally
 stdlib-only) :mod:`repro.obs` metrics layer; every other ``repro``
 subsystem is built on it.
@@ -13,8 +29,20 @@ subsystem is built on it.
 from __future__ import annotations
 
 import itertools
+from bisect import insort
+from contextlib import contextmanager
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Any, Callable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.trace import NULL_TRACER, RequestTracer
@@ -24,11 +52,17 @@ if TYPE_CHECKING:  # avoid an import cycle: analysis only uses stdlib
     from repro.sim.process import Process
 
 __all__ = [
+    "CalendarQueue",
     "Event",
+    "HeapScheduler",
     "Interrupt",
+    "SCHEDULERS",
     "SimulationError",
     "Simulator",
     "Timeout",
+    "default_scheduler",
+    "set_default_scheduler",
+    "use_scheduler",
 ]
 
 
@@ -54,10 +88,229 @@ NORMAL = 1
 LOW = 2
 
 
-# Scheduling records are plain tuples ``(time, priority, seq, event)``:
-# tuple comparison is implemented in C and the unique ``seq`` guarantees
-# ordering is decided before the (incomparable) event is reached.
-_ScheduledItem = Tuple[float, int, int, "Event"]
+# Scheduling records are plain tuples ``(time, priority, seq, run)``
+# where ``run`` is the zero-argument callable that processes the entry
+# (an ``Event._process`` bound method, or a raw deferred callback from
+# :meth:`Simulator.defer`): tuple comparison is implemented in C and the
+# unique ``seq`` guarantees ordering is decided before the
+# (incomparable) callable is reached.
+_ScheduledItem = Tuple[float, int, int, Callable[[], None]]
+
+_INFINITY = float("inf")
+
+
+class HeapScheduler:
+    """Reference scheduler: one global binary heap (``heapq``).
+
+    ``push``/``pop`` are O(log n).  Kept both as the oracle for the
+    calendar-queue property tests and as a fallback selectable with
+    ``Simulator(scheduler="heap")``.
+    """
+
+    __slots__ = ("_heap",)
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledItem] = []
+
+    def push(self, item: _ScheduledItem) -> None:
+        heappush(self._heap, item)
+
+    def pop(self) -> _ScheduledItem:
+        """Smallest item by ``(time, priority, seq)``.
+
+        Raises :class:`IndexError` when empty (matching ``list.pop``);
+        the simulator relies on that to detect a drained queue without
+        a per-event emptiness check.
+        """
+        return heappop(self._heap)
+
+    def peek_time(self) -> float:
+        return self._heap[0][0] if self._heap else _INFINITY
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class CalendarQueue:
+    """Calendar/ladder event scheduler: sorted window + unsorted future.
+
+    The structure keeps two tiers:
+
+    * ``_cur`` — every pending item with ``time < _horizon``, held as one
+      ascending-sorted list consumed through an index pointer (``_idx``)
+      instead of repeated ``list.pop(0)`` shifts;
+    * ``_fut`` — every item at or beyond the horizon, completely
+      unsorted, so the common push (a timer strictly in the future) is a
+      plain C-speed ``list.append``.
+
+    When the window drains, :meth:`_advance` jumps the horizon to
+    ``min(_fut).time + _width``, partitions ``_fut``, and sorts the new
+    window once (Timsort, C).  Pops therefore cost an index bump; pushes
+    cost an append, or a ``bisect.insort`` bounded to the unconsumed
+    suffix when a new item lands inside the open window.
+
+    **Ordering contract**: pops follow the exact ``(time, priority,
+    seq)`` tuple order — the invariant that every ``_fut`` item's time
+    is ``>= _horizon`` while every pending ``_cur`` item's is below it
+    means the global minimum always lives in the window, and the sorted
+    window plus suffix-bounded insorts keep ties (same time, same
+    priority) resolved by the unique ``seq`` exactly as the heap
+    reference resolves them.  The property tests in
+    ``tests/test_calendar_queue.py`` pin this equivalence across seeds.
+
+    **Resize policy**: the window width adapts multiplicatively to the
+    observed event density — a window that arrives with fewer than
+    ``widen_below`` items doubles the width (amortizing the per-window
+    partition/sort overhead over more events) and one with more than
+    ``halve_above`` items halves it (bounding the insort suffix and the
+    batch sort).  Width never drops below ``1e-12`` seconds so repeated
+    halving cannot collapse it to zero.
+    """
+
+    __slots__ = ("_cur", "_idx", "_fut", "_horizon", "_width", "_len",
+                 "_widen_below", "_halve_above")
+
+    name = "calendar"
+
+    #: Window occupancy targets for the multiplicative resize policy.
+    WIDEN_BELOW = 16
+    HALVE_ABOVE = 8192
+    MIN_WIDTH = 1e-12
+
+    def __init__(
+        self,
+        initial_width: float = 1.0,
+        widen_below: int = WIDEN_BELOW,
+        halve_above: int = HALVE_ABOVE,
+    ) -> None:
+        if initial_width <= 0.0:
+            raise ValueError(f"window width must be positive: {initial_width!r}")
+        if widen_below >= halve_above:
+            raise ValueError("widen_below must be smaller than halve_above")
+        self._cur: List[_ScheduledItem] = []
+        self._idx = 0
+        self._fut: List[_ScheduledItem] = []
+        self._horizon = -_INFINITY
+        self._width = initial_width
+        self._len = 0
+        self._widen_below = widen_below
+        self._halve_above = halve_above
+
+    def push(self, item: _ScheduledItem) -> None:
+        self._len += 1
+        if item[0] >= self._horizon:
+            self._fut.append(item)
+            return
+        cur = self._cur
+        # In-window pushes are usually later than everything pending
+        # (self-rescheduling timers), so try the append fast path before
+        # falling back to a suffix-bounded insort.
+        if not cur or item >= cur[-1]:
+            cur.append(item)
+        else:
+            insort(cur, item, lo=self._idx)
+
+    def pop(self) -> _ScheduledItem:
+        """Smallest item by ``(time, priority, seq)``.
+
+        Raises :class:`IndexError` when the queue is empty, like the
+        heap reference.
+        """
+        idx = self._idx
+        cur = self._cur
+        if idx >= len(cur):
+            self._advance()
+            idx = self._idx
+            cur = self._cur
+        item = cur[idx]
+        self._idx = idx + 1
+        self._len -= 1
+        return item
+
+    def _advance(self) -> None:
+        """Open the next window: jump the horizon past ``min(_fut)``."""
+        fut = self._fut
+        if not fut:
+            self._cur = []
+            self._idx = 0
+            raise IndexError("pop from an empty calendar queue")
+        width = self._width
+        horizon = min(fut)[0] + width
+        cur = [it for it in fut if it[0] < horizon]
+        if len(cur) < len(fut):
+            fut[:] = [it for it in fut if it[0] >= horizon]
+        else:
+            fut.clear()
+        cur.sort()
+        occupancy = len(cur)
+        if occupancy > self._halve_above and width > self.MIN_WIDTH:
+            self._width = width * 0.5
+        elif occupancy < self._widen_below:
+            self._width = width * 2.0
+        self._cur = cur
+        self._idx = 0
+        self._horizon = horizon
+
+    def peek_time(self) -> float:
+        """Time of the next item (``inf`` when empty).
+
+        May advance the window (an internal reorganization; the pop
+        order is unaffected).
+        """
+        if self._idx >= len(self._cur):
+            try:
+                self._advance()
+            except IndexError:
+                return _INFINITY
+        return self._cur[self._idx][0]
+
+    def __len__(self) -> int:
+        return self._len
+
+
+_Scheduler = Union[HeapScheduler, CalendarQueue]
+
+#: Scheduler name -> factory, for ``Simulator(scheduler=...)``.
+SCHEDULERS: Dict[str, Callable[[], _Scheduler]] = {
+    "heap": HeapScheduler,
+    "calendar": CalendarQueue,
+}
+
+_default_scheduler_name = "calendar"
+
+
+def default_scheduler() -> str:
+    """Name of the scheduler new simulators use when none is passed."""
+    return _default_scheduler_name
+
+
+def set_default_scheduler(name: str) -> str:
+    """Set the process-wide default scheduler; returns the previous one.
+
+    Lets callers that never construct simulators directly (experiment
+    builders, ``repro check-determinism``) pick the kernel's scheduler
+    without threading a parameter through every layer.
+    """
+    global _default_scheduler_name
+    if name not in SCHEDULERS:
+        raise SimulationError(
+            f"unknown scheduler {name!r}; available: {', '.join(sorted(SCHEDULERS))}"
+        )
+    previous = _default_scheduler_name
+    _default_scheduler_name = name
+    return previous
+
+
+@contextmanager
+def use_scheduler(name: str) -> Iterator[None]:
+    """Context manager form of :func:`set_default_scheduler`."""
+    previous = set_default_scheduler(name)
+    try:
+        yield
+    finally:
+        set_default_scheduler(previous)
 
 
 class Event:
@@ -152,15 +405,20 @@ class Timeout(Event):
         sim._push(self, delay, NORMAL)
 
 
-def _describe_event(event: Event) -> str:
-    """Qualified name of the code an event will run, for race reports.
+def _describe_event(target: Callable[[], None]) -> str:
+    """Qualified name of the code a scheduled item will run, for race reports.
 
     Called only on the instrumented slow path while a race detector is
     armed, so the ``Race``/``render()`` output can point at source
     (``process:Writer.run``) instead of bare sequence numbers.  Uses
     duck typing on ``generator`` because :class:`repro.sim.process.Process`
-    lives downstream of this module.
+    lives downstream of this module.  ``target`` is the scheduled
+    callable — an ``Event._process`` bound method, or a raw callback
+    from :meth:`Simulator.defer`.
     """
+    event = getattr(target, "__self__", None)
+    if not isinstance(event, Event):
+        return f"deferred:{getattr(target, '__qualname__', type(target).__name__)}"
     generator = getattr(event, "generator", None)
     if generator is not None:
         return f"process:{getattr(generator, '__qualname__', getattr(event, 'name', '?'))}"
@@ -197,9 +455,19 @@ class Simulator:
         detect_races: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[RequestTracer] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         self._now = float(start_time)
-        self._queue: List[_ScheduledItem] = []
+        name = scheduler if scheduler is not None else _default_scheduler_name
+        try:
+            factory = SCHEDULERS[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown scheduler {name!r}; available: "
+                f"{', '.join(sorted(SCHEDULERS))}"
+            ) from None
+        self.scheduler_name = name
+        self._sched: _Scheduler = factory()
         self._seq = itertools.count()
         self._active = True
         self._step_hooks: List[Callable[[float, int, int], None]] = []
@@ -346,35 +614,53 @@ class Simulator:
     # -- scheduling internals -------------------------------------------
 
     def _push(self, event: Event, delay: float, priority: int) -> None:
-        heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        self._sched.push(
+            (self._now + delay, priority, next(self._seq), event._process)
+        )
+
+    def defer(
+        self, delay: float, fn: Callable[[], None], priority: int = NORMAL
+    ) -> None:
+        """Run ``fn()`` after ``delay`` seconds — the allocation-free hot path.
+
+        Unlike :meth:`call_in` this creates no :class:`Event` (and hence
+        nothing to wait on or cancel): the callable itself is the
+        scheduled item.  It shares the same sequence counter, so a
+        deferred callback and an event scheduled in the same order pop
+        in the same order under either scheduler.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative defer delay: {delay!r}")
+        self._sched.push((self._now + delay, priority, next(self._seq), fn))
 
     # -- running ---------------------------------------------------------
 
     def step(self) -> None:
         """Process the single next scheduled event."""
-        if not self._queue:
-            raise SimulationError("no scheduled events")
-        item = heappop(self._queue)
+        try:
+            item = self._sched.pop()
+        except IndexError:
+            raise SimulationError("no scheduled events") from None
         self._now = item[0]
         if not self._instrumented:
-            item[3]._process()
+            item[3]()
             return
         self._events_counter.inc()
         for hook in self._step_hooks:
             hook(item[0], item[1], item[2])
         detector = self._race_detector
         if detector is None:
-            item[3]._process()
+            item[3]()
             return
         detector.begin_event(item[0], item[1], item[2], _describe_event(item[3]))
         try:
-            item[3]._process()
+            item[3]()
         finally:
             detector.end_event()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._sched.peek_time()
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
         """Run until the queue drains, or until simulated time ``until``.
@@ -383,28 +669,52 @@ class Simulator:
         ``max_events`` guard turns accidental infinite event loops into a
         loud error instead of a hang.
         """
-        queue = self._queue
-        pop = heappop
+        sched = self._sched
         processed = 0
-        while queue:
-            if until is not None and queue[0][0] > until:
-                self._now = until
-                return self._now
+        if until is not None:
+            peek = sched.peek_time
+            pop = sched.pop
+            while sched:
+                if peek() > until:
+                    self._now = until
+                    return self._now
+                if self._instrumented:
+                    self.step()
+                else:
+                    item = pop()
+                    self._now = item[0]
+                    item[3]()
+                processed += 1
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "possible runaway event loop"
+                    )
+            self._now = max(self._now, until)
+            return self._now
+        pop = sched.pop
+        while True:
             # Inlined fast path; _instrumented is re-read every iteration
-            # because a callback may attach a step hook mid-run.
+            # because a callback may attach a step hook mid-run.  The
+            # try/except around the bare pop is free until the queue
+            # drains (zero-cost exceptions), replacing a per-event
+            # emptiness check.
             if self._instrumented:
+                if not sched:
+                    break
                 self.step()
             else:
-                item = pop(queue)
+                try:
+                    item = pop()
+                except IndexError:
+                    break
                 self._now = item[0]
-                item[3]._process()
+                item[3]()
             processed += 1
             if processed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; possible runaway event loop"
                 )
-        if until is not None:
-            self._now = max(self._now, until)
         return self._now
 
     def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
@@ -414,9 +724,9 @@ class Simulator:
         is reached before the event fires.
         """
         while not event.processed:
-            if not self._queue:
+            if not self._sched:
                 raise SimulationError("event queue drained before target event fired")
-            if self._queue[0][0] > limit:
+            if self._sched.peek_time() > limit:
                 raise SimulationError(f"time limit {limit} reached before target event fired")
             self.step()
         if not event.ok:

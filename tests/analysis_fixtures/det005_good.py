@@ -8,3 +8,11 @@ def synthetic_dataset(rng):
 
 def consume(rand):
     return rand.random()
+
+
+class RandomSource:
+    """A method named ``random`` (mirroring the ``random.Random`` API)
+    lives in the class namespace and shadows nothing."""
+
+    def random(self):
+        return 0.5

@@ -25,7 +25,7 @@ def test_benchmark_smoke_records_figure5(tmp_path):
     history = json.loads(bench_file.read_text())
     assert isinstance(history, list) and len(history) == 1
     record = history[0]
-    assert record["schema_version"] == 1
+    assert record["schema_version"] == 2
     assert record["experiment"] == "figure5"
     assert record["wall_seconds"] > 0
     assert "sim_events" in record
@@ -55,7 +55,7 @@ def test_benchmark_smoke_records_gateway(tmp_path):
     history = json.loads((tmp_path / "BENCH_gateway.json").read_text())
     assert isinstance(history, list) and len(history) == 1
     record = history[0]
-    assert record["schema_version"] == 1
+    assert record["schema_version"] == 2
     assert record["experiment"] == "gateway"
     assert record["smoke"] is True
     assert record["wall_seconds"] > 0
@@ -82,7 +82,7 @@ def test_benchmark_smoke_records_shardstore(tmp_path):
     history = json.loads((tmp_path / "BENCH_shardstore.json").read_text())
     assert isinstance(history, list) and len(history) == 1
     record = history[0]
-    assert record["schema_version"] == 1
+    assert record["schema_version"] == 2
     assert record["experiment"] == "shardstore"
     assert record["smoke"] is True
     assert record["wall_seconds"] > 0
@@ -95,6 +95,24 @@ def test_benchmark_smoke_records_shardstore(tmp_path):
     packed, naive = points
     assert packed["spin_ups"] < naive["spin_ups"]
     assert record["counters"]["shardstore.acked"] > 0
+
+
+def test_kernel_throughput_record_shape():
+    import repro  # noqa: F401  (ensures src/ is importable in-process)
+    from repro.benchmarks import run_benchmark
+
+    record = run_benchmark("kernel_throughput", repeat=2, smoke=True)
+    assert record["schema_version"] == 2
+    assert record["events_per_second_fast"] > 0
+    assert record["events_per_second_eventpath"] > 0
+    assert record["events_per_second_instrumented"] > 0
+    assert record["wall_seconds"] >= record["wall_seconds_best"]
+    comparison = record["scheduler_comparison"]
+    assert [point["fan_out"] for point in comparison] == [16, 240, 1920]
+    for point in comparison:
+        assert point["heap_events_per_second"] > 0
+        assert point["calendar_events_per_second"] > 0
+        assert point["calendar_uplift"] > 0
 
 
 def test_benchmark_rejects_unknown_experiment(tmp_path):

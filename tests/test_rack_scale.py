@@ -62,7 +62,7 @@ class TestBenchmarkSuite:
 
     def test_alloc_scale_smoke_record(self):
         record = run_benchmark("alloc_scale", repeat=1, seed=7, smoke=True)
-        assert record["schema_version"] == 1
+        assert record["schema_version"] == 2
         assert record["experiment"] == "alloc_scale"
         assert record["wall_seconds"] > 0
         (size,) = record["sizes"]
