@@ -171,6 +171,14 @@ def _baseline_shardstore_wall(history: List[Dict]) -> Optional[float]:
     return None
 
 
+def _baseline_tiering_wall(history: List[Dict]) -> Optional[float]:
+    """wall_seconds of the most recent smoke-shaped tiering record."""
+    for record in reversed(history):
+        if record.get("smoke") and record.get("wall_seconds"):
+            return float(record["wall_seconds"])
+    return None
+
+
 def run_perf_smoke() -> int:
     """Run the new benchmarks at smoke size; flag >5x regressions.
 
@@ -278,6 +286,43 @@ def run_perf_smoke() -> int:
             f"(baseline {baseline_wall}s, limit {limit:.2f}s) {verdict}"
         )
         if wall > limit:
+            status = 1
+
+    record = run_benchmark("tiering", repeat=1, smoke=True)
+    wall = record["wall_seconds"]
+    baseline_path = REPO_ROOT / "BENCH_tiering.json"
+    if baseline_path.exists():
+        baseline_wall = _baseline_tiering_wall(json.loads(baseline_path.read_text()))
+    else:
+        baseline_wall = None
+    if baseline_wall is None:
+        print("perf: tiering: no committed smoke baseline, comparison skipped")
+    else:
+        limit = PERF_REGRESSION_FACTOR * baseline_wall + 0.5
+        verdict = "OK" if wall <= limit else "REGRESSION"
+        print(
+            f"perf: tiering smoke (staged vs write-through): {wall}s wall "
+            f"(baseline {baseline_wall}s, limit {limit:.2f}s) {verdict}"
+        )
+        if wall > limit:
+            status = 1
+    # Staged-vs-write-through outcome gate: even at smoke size, the
+    # staged treatment must keep its reasons to exist — fewer spin-ups
+    # and hot-latency write acks — and both variants must stay
+    # exactly-once.  These are simulated results, so they are exact,
+    # not noisy: any flip is a functional regression in the tiering
+    # or gateway layers.
+    by_mode = {point["mode"]: point for point in record["points"]}
+    staged, through = by_mode["staged"], by_mode["write_through"]
+    outcome_checks = (
+        ("staged fewer spin-ups", staged["spin_ups"] < through["spin_ups"]),
+        ("staged write p99 lower", staged["write_p99"] < through["write_p99"]),
+        ("both exactly-once", staged["exactly_once"] and through["exactly_once"]),
+    )
+    for label, holds in outcome_checks:
+        verdict = "OK" if holds else "REGRESSION"
+        print(f"perf: tiering smoke outcome: {label}: {verdict}")
+        if not holds:
             status = 1
     return status
 

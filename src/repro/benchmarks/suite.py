@@ -477,12 +477,93 @@ def bench_shardstore(
     )
 
 
+TIERING_WRITES_FULL = 240
+TIERING_WRITES_SMOKE = 60
+TIERING_READS_FULL = 40
+TIERING_READS_SMOKE = 16
+TIERING_WINDOW_SMOKE = 240.0
+TIERING_TOTAL_SMOKE = 520.0
+
+
+def bench_tiering(repeat: int = 1, seed: int = 42, smoke: bool = False) -> Dict:
+    """Archival write treatment: staged hot tier vs write-through.
+
+    Each point runs :func:`repro.experiments.tiering_staging.run_point`
+    on a fresh deployment — the staged variant absorbs writes on the
+    pinned hot tier and demotes them in background batches, the
+    write-through variant pays each cold home's spin-up in the ack
+    path — and records simulated writes/sec of wall time alongside the
+    spin-up, latency and energy outcomes.  ``smoke`` shrinks the write
+    window for the CI perf gate.
+    """
+    from repro.experiments import tiering_staging
+
+    num_writes = TIERING_WRITES_SMOKE if smoke else TIERING_WRITES_FULL
+    num_cold_reads = TIERING_READS_SMOKE if smoke else TIERING_READS_FULL
+    kwargs: Dict[str, float] = {}
+    if smoke:
+        kwargs["write_seconds"] = TIERING_WINDOW_SMOKE
+        kwargs["total_seconds"] = TIERING_TOTAL_SMOKE
+    record = _base_record("tiering", repeat)
+    record["seed"] = seed
+    record["smoke"] = smoke
+    record["num_writes"] = num_writes
+    record["num_cold_reads"] = num_cold_reads
+    points: List[Dict] = []
+    wall_times: List[float] = []
+    registry = MetricsRegistry()
+    for _ in range(max(1, repeat)):
+        points = []
+        started_total = time.perf_counter()
+        for mode in ("staged", "write_through"):
+            t0 = time.perf_counter()
+            summary = tiering_staging.run_point(
+                mode,
+                seed=seed,
+                num_writes=num_writes,
+                num_cold_reads=num_cold_reads,
+                metrics=registry,
+                **kwargs,
+            )
+            point_wall = time.perf_counter() - t0
+            point = {
+                "mode": mode,
+                "writes_per_second": round(num_writes / point_wall, 1)
+                if point_wall > 0
+                else None,
+                "exactly_once": summary["exactly_once"],
+                "spin_ups": summary["spin_ups"],
+                "write_p99": round(float(summary["write_p99"]), 3),
+                "cold_read_p99": round(float(summary["cold_read_p99"]), 3),
+                "energy_joules": round(float(summary["energy_joules"]), 1),
+                "wall_seconds": round(point_wall, 4),
+            }
+            if "store" in summary:
+                point["demotion_batches"] = summary["store"]["demotion_batches"]
+                point["demoted"] = summary["store"]["demoted"]
+            points.append(point)
+        wall_times.append(time.perf_counter() - started_total)
+    record["points"] = points
+    counters = {
+        name: counter.value
+        for name, counter in registry.counters().items()
+        if name.startswith(("tiering.", "gateway.")) or name == "sim.events"
+    }
+    return _finish_record(
+        record,
+        wall_times,
+        registry.counter("sim.events").value,
+        counters,
+    )
+
+
 #: Pure-suite benchmarks (everything else resolves via EXPERIMENTS).
 BENCHMARKS: Dict[str, Callable[..., Dict]] = {
     "alloc_scale": bench_alloc_scale,
     "kernel_throughput": bench_kernel_throughput,
     "gateway": bench_gateway,
     "shardstore": bench_shardstore,
+    "tiering": bench_tiering,
 }
 
 
@@ -537,6 +618,7 @@ def run_benchmark(
 
 def append_record(out_dir: Path, record: Dict) -> Path:
     """Append ``record`` to the BENCH history file for its benchmark."""
+    Path(out_dir).mkdir(parents=True, exist_ok=True)
     path = Path(out_dir) / f"BENCH_{record['experiment']}.json"
     history: List[Dict] = []
     if path.exists():

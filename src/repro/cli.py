@@ -172,6 +172,7 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
         gateway_slo,
         reliability,
         shardstore_small_objects,
+        tiering_staging,
     )
     from repro.obs import (
         MetricsRegistry,
@@ -208,11 +209,23 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
             num_objects=400, num_gets=80, **kwargs
         )
 
+    def run_tiering(**kwargs):
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        return tiering_staging.run(
+            num_writes=60,
+            num_cold_reads=16,
+            write_seconds=240.0,
+            total_seconds=520.0,
+            **kwargs,
+        )
+
     checks = {
         "figure5": run_figure5,
         "reliability": reliability.run,
         "gateway_slo": run_gateway_slo,
         "shardstore_small_objects": run_shardstore,
+        "tiering_staging": run_tiering,
     }
     failures = 0
     report: Dict[str, Dict] = {}

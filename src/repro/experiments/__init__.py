@@ -15,6 +15,7 @@
 | ``ablations``   | DESIGN.md §4 — design-choice studies             |
 | ``gateway_slo`` | §IV-F — request tier: batching vs FIFO           |
 | ``shardstore_small_objects`` | §IV-F — packed shards vs naive objects |
+| ``tiering_staging`` | §IV-F — staged hot tier vs write-through    |
 
 Every module declares an ``EXPERIMENT`` (see
 :mod:`repro.experiments.base`), collected here into :data:`EXPERIMENTS`;
@@ -40,6 +41,7 @@ from repro.experiments import (  # noqa: F401
     table3,
     table4,
     table5,
+    tiering_staging,
 )
 from repro.experiments.base import (  # noqa: F401
     Experiment,
@@ -63,6 +65,7 @@ ALL_EXPERIMENTS = {
     "reliability": reliability,
     "gateway_slo": gateway_slo,
     "shardstore_small_objects": shardstore_small_objects,
+    "tiering_staging": tiering_staging,
 }
 
 EXPERIMENTS = ExperimentRegistry()

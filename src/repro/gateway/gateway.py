@@ -107,6 +107,11 @@ class GatewayConfig:
     #: shardstore sets this to the shard capacity so every same-shard
     #: retrieval in a batch rides one sequential pass.
     coalesce_gap_bytes: int = 0
+    #: Always-spinning (hot-tier) disks: exempt from the spin-down
+    #: policy loop and from budget reclaim.  They still draw watts in
+    #: the power accountant, so the hot tier lives *inside* the same
+    #: power envelope as cold work.
+    pinned_disks: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -237,6 +242,13 @@ class Gateway:
     def objects(self) -> List[GatewayObject]:
         return self._objects
 
+    @property
+    def power_accountant(self) -> PowerAccountant:
+        """The attached budget bookkeeper (background tiers consult it)."""
+        if self._power is None:
+            raise GatewayError("attach() the gateway before reading power state")
+        return self._power
+
     def attach(
         self,
         objects: Sequence[GatewayObject],
@@ -260,6 +272,9 @@ class Gateway:
             self._disks[obj.disk_id] = disks[obj.disk_id]
         if host_of is not None:
             self._host_of = host_of
+        for disk_id in self.config.pinned_disks:
+            if disk_id not in self._disks:
+                raise GatewayError(f"pinned disk {disk_id!r} is not attached")
         watts = self.config.watts_per_disk
         if watts is None:
             first = self._disks[sorted(self._disks)[0]]
@@ -286,12 +301,19 @@ class Gateway:
                 policy = FixedTimeoutPolicy(
                     idle_timeout=self.config.spin_down_idle_seconds
                 )
-            run_policy(
-                self.sim,
-                self._disks,
-                policy,
-                check_interval=self.config.policy_check_interval,
-            )
+            pinned = set(self.config.pinned_disks)
+            policy_disks = {
+                disk_id: disk
+                for disk_id, disk in self._disks.items()
+                if disk_id not in pinned
+            }
+            if policy_disks:
+                run_policy(
+                    self.sim,
+                    policy_disks,
+                    policy,
+                    check_interval=self.config.policy_check_interval,
+                )
         return self.sim.process(self._dispatcher())
 
     # -- admission --------------------------------------------------------
@@ -416,6 +438,17 @@ class Gateway:
         if kick is not None and not kick.triggered:
             kick.succeed()
 
+    def _poll(self, kick: Event) -> None:
+        """Deferred poll: wake the dispatcher iff it still waits on ``kick``.
+
+        Scheduled through :meth:`Simulator.defer`, so a budget-blocked
+        dispatcher costs one queued callable per poll interval instead
+        of a Timeout plus an ``any_of`` composite.  A stale poll (the
+        dispatcher already moved on to a newer kick) is a no-op.
+        """
+        if self._kick is kick and not kick.triggered:
+            kick.succeed()
+
     def _dispatcher(self) -> Generator[Event, None, None]:
         while True:
             kick = self.sim.event()
@@ -427,10 +460,10 @@ class Gateway:
                 if not self._in_flight:
                     # Budget-blocked with nothing running: poll so the
                     # spin-down policy's progress is eventually seen.
-                    yield self.sim.any_of(
-                        [kick, self.sim.timeout(self.config.poll_interval)]
+                    self.sim.defer(
+                        self.config.poll_interval,
+                        lambda kick=kick: self._poll(kick),
                     )
-                    continue
             yield kick
 
     def _dispatch_ready(self) -> bool:
@@ -610,9 +643,10 @@ class Gateway:
         classic trade of one extra spin cycle for forward progress.
         """
         queued_disks = {entry.disk_id for entry in self.queue.pending_by_disk()}
+        pinned = set(self.config.pinned_disks)
         candidates: List[Tuple[int, float, str]] = []
         for disk_id in sorted(self._disks):
-            if disk_id in self._in_flight:
+            if disk_id in self._in_flight or disk_id in pinned:
                 continue
             power = self._power
             if power is not None and power.granted(disk_id):

@@ -1,7 +1,12 @@
 """Power models: policies, accounting, and rival-system comparisons."""
 
 from repro.power.accounting import PowerMeter
-from repro.power.policy import AdaptiveTimeoutPolicy, FixedTimeoutPolicy, run_policy
+from repro.power.policy import (
+    AdaptiveTimeoutPolicy,
+    FixedTimeoutPolicy,
+    PolicyHandle,
+    run_policy,
+)
 from repro.power.systems import (
     DD860_POWERED_OFF,
     DD860_SPINNING,
@@ -16,6 +21,7 @@ __all__ = [
     "DD860_POWERED_OFF",
     "DD860_SPINNING",
     "FixedTimeoutPolicy",
+    "PolicyHandle",
     "PowerBreakdown",
     "PowerMeter",
     "dd860_power",

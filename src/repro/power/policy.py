@@ -9,14 +9,19 @@ their workload can replace it entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List
+from typing import Dict, List
 
 from repro.disk.device import SimulatedDisk
 from repro.disk.states import DiskPowerState
-from repro.sim import Event, Simulator
+from repro.sim import Simulator
 from repro.units import SimSeconds
 
-__all__ = ["AdaptiveTimeoutPolicy", "FixedTimeoutPolicy", "run_policy"]
+__all__ = [
+    "AdaptiveTimeoutPolicy",
+    "FixedTimeoutPolicy",
+    "PolicyHandle",
+    "run_policy",
+]
 
 
 @dataclass
@@ -65,29 +70,46 @@ class AdaptiveTimeoutPolicy:
             events.clear()
 
 
+@dataclass
+class PolicyHandle:
+    """Cancellation handle for a running :func:`run_policy` loop."""
+
+    stopped: bool = False
+
+    def stop(self) -> None:
+        self.stopped = True
+
+
 def run_policy(
     sim: Simulator,
     disks: Dict[str, SimulatedDisk],
     policy,
     check_interval: SimSeconds = SimSeconds(10.0),
-) -> "Event":
-    """Drive a spin-down policy over ``disks`` as a simulation process.
+) -> PolicyHandle:
+    """Drive a spin-down policy over ``disks`` on the deferred fast path.
 
-    Returns the (never-ending) policy process; cancel by interrupting.
+    Each check is a raw :meth:`Simulator.defer` callback that
+    reschedules itself — no Timeout/Event allocation per interval, so
+    a fleet of policy loops costs the kernel nothing between checks.
+    Returns a :class:`PolicyHandle`; :meth:`PolicyHandle.stop` lets the
+    loop lapse at its next firing.
     """
+    handle = PolicyHandle()
+    spin_counts = {d: disk.states.spin_up_count for d, disk in disks.items()}
 
-    def loop() -> Generator[Event, None, None]:
-        spin_counts = {d: disk.states.spin_up_count for d, disk in disks.items()}
-        while True:
-            yield sim.timeout(check_interval)
-            for disk_id, disk in disks.items():
-                # Detect wake-ups since the last check for adaptivity.
-                if disk.states.spin_up_count > spin_counts[disk_id]:
-                    spin_counts[disk_id] = disk.states.spin_up_count
-                    policy.on_spin_up(disk_id, sim.now)
-                if disk.power_state is not DiskPowerState.IDLE:
-                    continue
-                if sim.now - disk.idle_since >= policy.timeout_for(disk_id):
-                    disk.spin_down()
+    def check() -> None:
+        if handle.stopped:
+            return
+        for disk_id, disk in disks.items():
+            # Detect wake-ups since the last check for adaptivity.
+            if disk.states.spin_up_count > spin_counts[disk_id]:
+                spin_counts[disk_id] = disk.states.spin_up_count
+                policy.on_spin_up(disk_id, sim.now)
+            if disk.power_state is not DiskPowerState.IDLE:
+                continue
+            if sim.now - disk.idle_since >= policy.timeout_for(disk_id):
+                disk.spin_down()
+        sim.defer(check_interval, check)
 
-    return sim.process(loop())
+    sim.defer(check_interval, check)
+    return handle

@@ -1,0 +1,40 @@
+"""Hot/cold tiering: write staging, promotion, background migration.
+
+A small always-spinning hot tier (the gateway's pinned disks) fronts
+the power-gated cold deployment.  Archival writes are absorbed by a
+bounded staging buffer and acknowledged at hot latency; a background
+orchestrator demotes them to their cold homes as single sequential
+runs whenever the power accountant has idle watts and foreground
+queues are shallow.  Promotion/demotion of read-hot objects follows a
+segmented-LRU over gateway-observable accesses — no metadata
+database; crash recovery is a media scan (DESIGN.md §14).
+"""
+
+from repro.tiering.migration import MigrationOrchestrator, MigrationStats
+from repro.tiering.policy import SegmentedLruPolicy
+from repro.tiering.staging import StagingBuffer, StagingFullError, TieringError
+from repro.tiering.store import (
+    ObjectMissingError,
+    TierState,
+    TieredObject,
+    TieredStore,
+    TieringConfig,
+    TieringStats,
+    pinned_disks_for,
+)
+
+__all__ = [
+    "MigrationOrchestrator",
+    "MigrationStats",
+    "ObjectMissingError",
+    "SegmentedLruPolicy",
+    "StagingBuffer",
+    "StagingFullError",
+    "TierState",
+    "TieredObject",
+    "TieredStore",
+    "TieringConfig",
+    "TieringError",
+    "TieringStats",
+    "pinned_disks_for",
+]

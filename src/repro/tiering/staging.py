@@ -1,0 +1,119 @@
+"""Bounded write staging: byte accounting and per-cold-disk queues.
+
+The staging buffer is the hot-tier RAM+log budget for writes that have
+been acknowledged at hot latency but not yet demoted to their cold
+homes.  It is **bounded**: a write that would push staged bytes past
+capacity is refused with :class:`StagingFullError` at admission — the
+archival client sees backpressure instead of the gateway silently
+growing an unbounded queue (the same reasoning as the weighted-fair
+queue's per-tenant depth bound).
+
+Reservations follow the write's life cycle: ``reserve`` at admission,
+``release`` either when the object's demotion commits (bytes now live
+only in the cold tier) or when the staging write fails.
+
+Per-cold-space FIFO queues remember which staged objects owe a
+demotion to which cold disk, so the migration orchestrator can flush
+one disk's worth of objects as a single sequential run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List
+
+__all__ = ["StagingBuffer", "StagingFullError", "TieringError"]
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.tiering.store import TieredObject
+
+
+class TieringError(Exception):
+    """Base class for tiering errors."""
+
+
+class StagingFullError(TieringError):
+    """The bounded staging buffer cannot absorb this write right now."""
+
+
+class StagingBuffer:
+    """Byte-bounded staging accounting plus per-cold-space FIFOs."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("staging capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.staged_bytes = 0
+        self.overflows = 0
+        self._queues: Dict[str, Deque["TieredObject"]] = {}
+
+    # -- byte accounting --------------------------------------------------
+
+    def reserve(self, size: int) -> None:
+        if self.staged_bytes + size > self.capacity_bytes:
+            self.overflows += 1
+            raise StagingFullError(
+                f"staging buffer full: {self.staged_bytes} + {size} "
+                f"> {self.capacity_bytes} bytes"
+            )
+        self.staged_bytes += size
+
+    def release(self, size: int) -> None:
+        if size > self.staged_bytes:
+            raise TieringError(
+                f"releasing {size} bytes but only {self.staged_bytes} staged"
+            )
+        self.staged_bytes -= size
+
+    # -- demotion queues --------------------------------------------------
+
+    def enqueue(self, obj: "TieredObject") -> None:
+        self._queues.setdefault(obj.cold_space, deque()).append(obj)
+
+    def requeue(self, objs: List["TieredObject"]) -> None:
+        """Put a failed demotion batch back at the head, order preserved."""
+        for obj in reversed(objs):
+            self._queues.setdefault(obj.cold_space, deque()).appendleft(obj)
+
+    def pending_bytes(self, space_id: str) -> int:
+        return sum(obj.size for obj in self._queues.get(space_id, ()))
+
+    def oldest_written_at(self, space_id: str) -> float:
+        """Admission time of the space's FIFO head (``inf`` if empty)."""
+        queue = self._queues.get(space_id)
+        if not queue:
+            return float("inf")
+        return queue[0].written_at
+
+    def pending_spaces(self) -> List[str]:
+        """Cold spaces owed a demotion, most pending bytes first.
+
+        Ties break on the space id so the orchestrator's pick is
+        deterministic under any dict iteration order.
+        """
+        spaces = [sid for sid in self._queues if self._queues[sid]]
+        return sorted(spaces, key=lambda sid: (-self.pending_bytes(sid), sid))
+
+    def take_batch(self, space_id: str, max_bytes: int) -> List["TieredObject"]:
+        """Dequeue up to ``max_bytes`` of FIFO-ordered staged objects.
+
+        Always returns at least one object when the queue is non-empty
+        (a single object larger than ``max_bytes`` still demotes).
+        """
+        queue = self._queues.get(space_id)
+        if not queue:
+            return []
+        batch: List["TieredObject"] = []
+        total = 0
+        while queue:
+            head = queue[0]
+            if batch and total + head.size > max_bytes:
+                break
+            batch.append(queue.popleft())
+            total += head.size
+        return batch
+
+    def reset(self) -> None:
+        """Drop all accounting and queues (crash of the tiering node)."""
+        self.staged_bytes = 0
+        self._queues.clear()

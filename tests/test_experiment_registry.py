@@ -19,7 +19,7 @@ from repro.experiments.common import format_table
 class TestRegistry:
     def test_every_module_is_registered(self):
         assert set(EXPERIMENTS.names()) == set(ALL_EXPERIMENTS)
-        assert len(EXPERIMENTS) == 14
+        assert len(EXPERIMENTS) == 15
 
     def test_entries_carry_paper_refs(self):
         for name in EXPERIMENTS.names():
