@@ -27,6 +27,13 @@ kernel leg also compares the calendar-queue scheduler against the heap
 reference at 16/240/1920 concurrent timers and fails if the calendar
 falls behind heap by more than 1.5x at any depth.
 
+Default-path runs finish with an energy-ledger leg: one small
+gateway_slo point with the ledger armed must satisfy the DESIGN §15
+conservation identity, and an identical rerun must produce a
+byte-identical canonical energy export.  The unarmed-overhead half of
+that gate rides the 1.1x gateway perf leg, which runs with the ledger
+disarmed.
+
 Usage::
 
     python scripts/run_static_analysis.py               # lint src/repro
@@ -327,6 +334,44 @@ def run_perf_smoke() -> int:
     return status
 
 
+def run_energy_smoke() -> int:
+    """Energy-ledger gate: conservation identity + deterministic export.
+
+    Runs one small gateway_slo point with the ledger armed and checks
+    the DESIGN §15 identity (attributed joules == meter wall-energy
+    integral within the auditor tolerance), then reruns the identical
+    point and requires the canonical JSON energy exports to match byte
+    for byte.  The unarmed-overhead side of the gate is carried by the
+    gateway perf leg above: its smoke sweep runs with the ledger (and
+    tracer) disarmed and is held to GATEWAY_TRACING_OFF_FACTOR = 1.1x.
+    """
+    from repro.experiments import gateway_slo
+
+    status = 0
+    exports = []
+    for _ in range(2):
+        summary = gateway_slo.run_point("batch", seed=11, duration=8.0, energy=True)
+        energy = summary["energy"]
+        exports.append(
+            json.dumps(energy["export"], sort_keys=True, separators=(",", ":"))
+        )
+    identity = energy["identity"]
+    verdict = "OK" if identity["conserved"] else "VIOLATION"
+    print(
+        f"energy: conservation identity: wall {identity['wall_joules']:.3f} J, "
+        f"residual {identity['residual']:.3e} J "
+        f"(tolerance {identity['tolerance']:.3e}) {verdict}"
+    )
+    if not identity["conserved"]:
+        status = 1
+    identical = exports[0] == exports[1]
+    verdict = "OK" if identical else "MISMATCH"
+    print(f"energy: double-run export byte-identical: {verdict}")
+    if not identical:
+        status = 1
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -368,6 +413,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     # The perf smoke guards the default tree, not arbitrary paths.
     if not args.no_perf and not args.paths:
         if run_perf_smoke() != 0:
+            status = 1
+        if run_energy_smoke() != 0:
             status = 1
     return status
 

@@ -183,6 +183,7 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
     from repro.sim import EventDigest, use_scheduler
 
     trace_dumps: List[str] = []
+    energy_dumps: List[str] = []
 
     def run_figure5(**kwargs):
         if args.seed is not None:
@@ -194,12 +195,25 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
             kwargs["seed"] = args.seed
         races: List = []
         chunks: List[str] = []
+        energy_chunks: List[str] = []
         for scheduler in ("batch", "fifo"):
             tracer = RequestTracer()
-            summary = gateway_slo.run_point(scheduler, tracer=tracer, **kwargs)
+            summary = gateway_slo.run_point(
+                scheduler, tracer=tracer, energy=True, **kwargs
+            )
             races.extend(summary.pop("races", []))
             chunks.append(export_trace_jsonl(tracer.completed))
+            # Canonical energy-ledger export: every account, disk book,
+            # per-request charge and spin-up blame, byte-stable.
+            energy_chunks.append(
+                json.dumps(
+                    summary["energy"]["export"],
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
         trace_dumps.append("\n".join(chunks))
+        energy_dumps.append("\n".join(energy_chunks))
         return {"races": races}
 
     def run_shardstore(**kwargs):
@@ -252,9 +266,13 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
             "races": len(races),
         }
         trace_identical = True
+        energy_identical = True
         if name == "gateway_slo" and len(trace_dumps) == 2:
             trace_identical = trace_dumps[0] == trace_dumps[1]
             report[name]["trace_identical"] = trace_identical
+        if name == "gateway_slo" and len(energy_dumps) == 2:
+            energy_identical = energy_dumps[0] == energy_dumps[1]
+            report[name]["energy_identical"] = energy_identical
         if not args.as_json:
             print(f"{name}:")
             print(f"  replay digest: {digests[0][:16]}…  "
@@ -264,10 +282,19 @@ def _cmd_check_determinism(args: argparse.Namespace) -> int:
             if "trace_identical" in report[name]:
                 print(f"  trace export: "
                       f"{'byte-identical heap vs calendar' if trace_identical else 'MISMATCH'}")
+            if "energy_identical" in report[name]:
+                print(f"  energy export: "
+                      f"{'byte-identical heap vs calendar' if energy_identical else 'MISMATCH'}")
             print(f"  same-timestamp races: {len(races)}")
             for race in races:
                 print(f"    {race.render()}")
-        if not identical or not metrics_identical or not trace_identical or races:
+        if (
+            not identical
+            or not metrics_identical
+            or not trace_identical
+            or not energy_identical
+            or races
+        ):
             failures += 1
 
     scheduler_report: Dict[str, bool] = {}
@@ -372,6 +399,74 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"wrote {args.format} export to {args.out}")
     else:
         print(output)
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    """Run one energy-ledgered gateway_slo point and report the books."""
+    from repro.experiments import gateway_slo
+
+    summary = gateway_slo.run_point(
+        args.scheduler,
+        seed=args.seed if args.seed is not None else 11,
+        duration=args.duration,
+        energy=True,
+    )
+    energy = summary["energy"]
+    identity = energy["identity"]
+    if args.as_json:
+        output = json.dumps(
+            {
+                "params": {
+                    "scheduler": args.scheduler,
+                    "seed": args.seed if args.seed is not None else 11,
+                    "duration": args.duration,
+                },
+                "identity": identity,
+                "accounts": energy["accounts"],
+                "tiers": energy["tiers"],
+                "export": energy["export"],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    else:
+        wall = identity["wall_joules"]
+        lines = [
+            f"Energy attribution: gateway_slo scheduler={args.scheduler} "
+            f"duration={args.duration}s",
+            f"  wall energy: {wall:.3f} J   "
+            f"attributed: {identity['attributed_joules']:.3f} J   "
+            f"residual: {identity['residual']:.9f} J "
+            f"({'conserved' if identity['conserved'] else 'VIOLATED'})",
+            "",
+            "Accounts (wall joules):",
+        ]
+        accounts = energy["accounts"]
+        for account in sorted(accounts, key=lambda a: -accounts[a]):
+            share = accounts[account] / wall if wall else 0.0
+            lines.append(f"  {account:<20} {accounts[account]:12.3f} J {share:7.2%}")
+        lines.append("")
+        lines.append("Tiers (wall joules by spin-state bucket):")
+        for tier, book in sorted(energy["tiers"].items()):
+            lines.append(
+                f"  {tier:<20} active={book['active']:.1f} "
+                f"spinup={book['spinup']:.1f} idle={book['idle']:.1f} "
+                f"standby={book['standby']:.1f} total={book['total']:.1f}"
+            )
+        export = energy["export"]
+        blames = export["spin_up_blames"]
+        lines.append("")
+        lines.append(
+            f"Spin-ups blamed: {len(blames)} "
+            f"(requests charged: {energy['requests_charged']})"
+        )
+        requests = export["requests"]
+        top = sorted(requests, key=lambda t: -requests[t])[:5]
+        for trace_id in top:
+            lines.append(f"  trace {trace_id}: {requests[trace_id]:.1f} J")
+        output = "\n".join(lines)
+    print(output)
     return 0
 
 
@@ -560,6 +655,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_common_flags(trace_parser)
     trace_parser.set_defaults(fn=_cmd_trace)
+
+    energy_parser = sub.add_parser(
+        "energy",
+        help="run one energy-ledgered gateway point; print the joule books",
+    )
+    energy_parser.add_argument(
+        "--scheduler",
+        choices=("batch", "fifo"),
+        default="batch",
+        help="gateway scheduler for the metered run",
+    )
+    energy_parser.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        help="seconds of offered open-loop traffic",
+    )
+    _add_common_flags(energy_parser)
+    energy_parser.set_defaults(fn=_cmd_energy)
 
     campaign_parser = sub.add_parser(
         "campaign",

@@ -9,7 +9,7 @@ residency times so the power-accounting layer can integrate energy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.disk.model import DiskModel
 from repro.disk.specs import (
@@ -26,7 +26,21 @@ from repro.obs.trace import NULL_SCOPE, TraceScope
 from repro.sim import Event, Resource, Simulator
 from repro.workload.specs import AccessPattern, WorkloadSpec
 
-__all__ = ["DiskBusyError", "DiskOfflineError", "IoRequest", "SimulatedDisk"]
+__all__ = [
+    "DiskBusyError",
+    "DiskOfflineError",
+    "IoRequest",
+    "SimulatedDisk",
+    "SpinUpListener",
+]
+
+#: ``(disk_id, sim_now, blame_scope)`` — fired synchronously inside
+#: :meth:`SimulatedDisk.spin_up`, so listeners (spin-down policies, the
+#: energy ledger) see the exact sim time and owning trace of the surge.
+SpinUpListener = Callable[[str, float, TraceScope], None]
+
+#: ``(tenant, trace_id)`` ownership stamp for a busy/spin-up interval.
+OwnerStamp = Optional[Tuple[Optional[str], int]]
 
 
 class DiskOfflineError(Exception):
@@ -79,6 +93,12 @@ class SimulatedDisk:
         # Per-state residency bookkeeping for energy accounting.
         self._state_entered = sim.now
         self._residency: Dict[DiskPowerState, float] = {s: 0.0 for s in DiskPowerState}
+        # Ownership stamps for the energy ledger: who the current ACTIVE
+        # (busy) interval and in-flight spin-up belong to.  None when the
+        # work has no live owning trace (system I/O, stale scopes).
+        self.busy_owner: OwnerStamp = None
+        self.spinup_owner: OwnerStamp = None
+        self._spin_listeners: List[SpinUpListener] = []
         # Obs instruments, fetched once; aggregated across all disks of a
         # simulator so the dump stays small at deployment scale.
         metrics = sim.metrics
@@ -152,8 +172,21 @@ class SimulatedDisk:
         if self.states.state is DiskPowerState.POWERED_OFF:
             self._enter_state(DiskPowerState.SPUN_DOWN)
 
-    def spin_up(self) -> Event:
-        """Begin spinning up; the returned event fires when ready."""
+    def add_spin_up_listener(self, listener: SpinUpListener) -> None:
+        """Notify ``listener(disk_id, now, blame)`` on every spin-up start."""
+        self._spin_listeners.append(listener)
+
+    def remove_spin_up_listener(self, listener: SpinUpListener) -> None:
+        if listener in self._spin_listeners:
+            self._spin_listeners.remove(listener)
+
+    def spin_up(self, blame: TraceScope = NULL_SCOPE) -> Event:
+        """Begin spinning up; the returned event fires when ready.
+
+        ``blame`` names the request whose arrival forced the surge; it
+        stamps :attr:`spinup_owner` for the energy ledger and rides the
+        spin-up listener callbacks (exact sim time, owning trace).
+        """
         if self.states.state is DiskPowerState.POWERED_OFF:
             raise DiskStateError("power the disk on before spinning up")
         done = self.sim.event()
@@ -164,9 +197,13 @@ class SimulatedDisk:
             raise DiskBusyError("spin-up already in progress")
         self._enter_state(DiskPowerState.SPINNING_UP)
         self._m_spin_ups.inc()
+        self.spinup_owner = blame.owner()
+        for listener in self._spin_listeners:
+            listener(self.disk_id, self.sim.now, blame)
 
         def finish() -> None:
             self._enter_state(DiskPowerState.IDLE)
+            self.spinup_owner = None
             done.succeed()
 
         self.sim.call_in(self.spec.spin_up_time, finish)
@@ -215,12 +252,13 @@ class SimulatedDisk:
                 raise DiskOfflineError(f"{self.disk_id}: disk failed")
             if not self.states.is_spinning:
                 if self.states.state is DiskPowerState.SPUN_DOWN:
-                    yield self.spin_up()
+                    yield self.spin_up(blame=scope)
                 else:  # SPINNING_UP from someone else's wake-up
                     while not self.states.is_spinning:
                         yield self.sim.timeout(0.05)
                 scope.phase("spinup")
             spec = self._spec_for(request)
+            self.busy_owner = scope.owner()
             was_idle = self.states.state is DiskPowerState.IDLE
             if was_idle:
                 self._enter_state(DiskPowerState.ACTIVE)
@@ -276,6 +314,7 @@ class SimulatedDisk:
                 self._enter_state(DiskPowerState.IDLE)
             return service
         finally:
+            self.busy_owner = None
             self._queue.release()
 
     @property

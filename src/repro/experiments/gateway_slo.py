@@ -30,13 +30,16 @@ from repro.gateway import (
     mount_gateway_spaces,
 )
 from repro.obs import (
+    ConservationAuditor,
     CriticalPathAnalyzer,
+    EnergyLedger,
     FlightRecorder,
     MetricsRegistry,
     RequestTracer,
     SloMonitor,
     SloObjective,
 )
+from repro.power import PowerMeter
 from repro.sim import EventDigest
 from repro.workload.specs import KB, MB
 
@@ -92,6 +95,7 @@ def run_point(
     event_digest: Optional[EventDigest] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RequestTracer] = None,
+    energy: bool = False,
 ) -> Dict:
     """Run one (scheduler, load) point on a fresh deployment.
 
@@ -102,12 +106,20 @@ def run_point(
     :class:`~repro.obs.RequestTracer` arms end-to-end request tracing:
     the summary then also carries the critical-path latency
     attribution, the per-tenant SLO burn-rate state, and the flight
-    recorder's dump count.
+    recorder's dump count.  ``energy=True`` arms a ``PowerMeter`` +
+    :class:`~repro.obs.EnergyLedger` pair over the traffic-and-drain
+    window and adds a per-tenant wall-joule breakdown whose accounts
+    sum to the meter integral (the DESIGN §15 conservation identity).
     """
+    attribution_tracer = tracer
+    if energy and attribution_tracer is None:
+        # Per-tenant attribution rides the trace threading; arm a
+        # private tracer when the caller did not supply one.
+        attribution_tracer = RequestTracer()
     deployment = build_deployment(
         config=DeploymentConfig(detect_races=detect_races, seed=seed),
         metrics=metrics,
-        tracer=tracer,
+        tracer=attribution_tracer,
     )
     if event_digest is not None:
         event_digest.attach(deployment.sim)
@@ -122,6 +134,12 @@ def run_point(
     objects, spaces = mount_gateway_spaces(deployment, SPACE_BYTES)
     for disk_id in sorted(deployment.disks):
         deployment.disks[disk_id].spin_down()
+    ledger: Optional[EnergyLedger] = None
+    meter: Optional[PowerMeter] = None
+    if energy:
+        ledger = EnergyLedger()
+        meter = PowerMeter(deployment, ledger=ledger)
+        meter.start()
     gateway = Gateway(
         deployment.sim,
         TENANTS,
@@ -151,6 +169,16 @@ def run_point(
     }
     summary["drain_seconds"] = deployment.sim.now - end
     summary["drained"] = gateway.drained()
+    if ledger is not None and meter is not None:
+        auditor = ConservationAuditor(meter, ledger)
+        summary["energy"] = {
+            "identity": auditor.audit(deployment.sim.now),
+            "accounts": ledger.account_joules(),
+            "tiers": ledger.tier_joules(),
+            "spin_up_blames": len(ledger.blames),
+            "requests_charged": len(ledger.requests),
+            "export": ledger.to_dict(),
+        }
     if detect_races:
         summary["races"] = list(deployment.sim.races)
     if monitor is not None and recorder is not None and tracer is not None:
@@ -178,6 +206,7 @@ def run(
     power_budget_watts: float = 24.0,
     load_scale: float = 1.0,
     trace: bool = False,
+    energy: bool = True,
 ) -> Dict:
     """Run both schedulers on identically seeded deployments."""
     variants: Dict[str, Dict] = {}
@@ -196,6 +225,7 @@ def run(
             event_digest=event_digest,
             metrics=metrics,
             tracer=tracer,
+            energy=energy,
         )
         if detect_races:
             races.extend(summary.pop("races", []))
@@ -223,6 +253,13 @@ def run(
             variant["trace"]["attribution"]["identity_failures"] == 0
             for variant in variants.values()
         )
+    if energy:
+        # The §15 conservation identity: per-account joules sum to the
+        # PowerMeter wall integral in both variants.
+        anchors["energy_conserved"] = all(
+            variant["energy"]["identity"]["conserved"]
+            for variant in variants.values()
+        )
     result: Dict = {
         "params": {
             "seed": seed,
@@ -230,6 +267,7 @@ def run(
             "power_budget_watts": power_budget_watts,
             "load_scale": load_scale,
             "trace": trace,
+            "energy": energy,
         },
         "variants": variants,
         "anchors": anchors,
@@ -287,6 +325,27 @@ def _report(result: Dict) -> str:
                 f"identity_failures={attribution['identity_failures']} "
                 f"slo_alerts={fired}"
             )
+    if any("energy" in result["variants"][n] for n in ("batch", "fifo")):
+        lines.append("")
+        lines.append("Energy attribution (wall joules by account):")
+        for name in ("batch", "fifo"):
+            summary = result["variants"][name]
+            if "energy" not in summary:
+                continue
+            energy = summary["energy"]
+            accounts = energy["accounts"]
+            parts = ", ".join(
+                f"{account}={accounts[account]:.0f}J"
+                for account in sorted(accounts, key=lambda a: -accounts[a])
+            )
+            identity = energy["identity"]
+            lines.append(f"  {name}: {parts}")
+            lines.append(
+                f"  {name}: wall={identity['wall_joules']:.0f}J "
+                f"residual={identity['residual']:.9f}J "
+                f"conserved={identity['conserved']} "
+                f"spin_up_blames={energy['spin_up_blames']}"
+            )
     lines.append("")
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
@@ -300,6 +359,7 @@ def _build_result(
     load_scale: float = 1.0,
     detect_races: bool = False,
     trace: bool = False,
+    energy: bool = True,
 ) -> ExperimentResult:
     registry = MetricsRegistry()
     raw = run(
@@ -310,8 +370,26 @@ def _build_result(
         power_budget_watts=power_budget_watts,
         load_scale=load_scale,
         trace=trace,
+        energy=energy,
     )
     batch, fifo = raw["variants"]["batch"], raw["variants"]["fifo"]
+    metrics_out = {
+        "batch_spin_ups": batch["spin_ups"],
+        "fifo_spin_ups": fifo["spin_ups"],
+        "batch_p99_seconds": batch["latency_p99"],
+        "fifo_p99_seconds": fifo["latency_p99"],
+        "batch_energy_joules": batch["energy_joules"],
+        "fifo_energy_joules": fifo["energy_joules"],
+        "batch_slo_misses": batch["slo_misses"],
+        "fifo_slo_misses": fifo["slo_misses"],
+    }
+    if energy:
+        for name, summary in (("batch", batch), ("fifo", fifo)):
+            metrics_out[f"{name}_wall_joules"] = summary["energy"]["identity"][
+                "wall_joules"
+            ]
+            for account, joules in summary["energy"]["accounts"].items():
+                metrics_out[f"{name}_joules[{account}]"] = joules
     return ExperimentResult(
         name="gateway_slo",
         paper_ref="§IV-F / Table III (request tier)",
@@ -322,17 +400,9 @@ def _build_result(
             "load_scale": load_scale,
             "detect_races": detect_races,
             "trace": trace,
+            "energy": energy,
         },
-        metrics={
-            "batch_spin_ups": batch["spin_ups"],
-            "fifo_spin_ups": fifo["spin_ups"],
-            "batch_p99_seconds": batch["latency_p99"],
-            "fifo_p99_seconds": fifo["latency_p99"],
-            "batch_energy_joules": batch["energy_joules"],
-            "fifo_energy_joules": fifo["energy_joules"],
-            "batch_slo_misses": batch["slo_misses"],
-            "fifo_slo_misses": fifo["slo_misses"],
-        },
+        metrics=metrics_out,
         paper_expected={},
         relative_errors={},
         anchors=dict(raw["anchors"]),
@@ -354,6 +424,7 @@ EXPERIMENT = Experiment(
         "load_scale": 1.0,
         "detect_races": False,
         "trace": False,
+        "energy": True,
     },
 )
 

@@ -43,7 +43,13 @@ from repro.gateway import (
     WriteObject,
     mount_gateway_spaces,
 )
-from repro.obs import MetricsRegistry, RequestTracer
+from repro.obs import (
+    ConservationAuditor,
+    EnergyLedger,
+    MetricsRegistry,
+    RequestTracer,
+)
+from repro.power import PowerMeter
 from repro.shardstore import stable_hash
 from repro.sim import EventDigest
 from repro.tiering import (
@@ -171,6 +177,7 @@ def run_point(
     event_digest: Optional[EventDigest] = None,
     metrics: Optional[MetricsRegistry] = None,
     tracer: Optional[RequestTracer] = None,
+    energy: bool = False,
 ) -> Dict:
     """Run one treatment on a fresh identically-seeded deployment.
 
@@ -179,9 +186,18 @@ def run_point(
     Writes and cold reads interleave over :data:`write_seconds`; the
     sim then drains and runs to the absolute ``total_seconds`` mark so
     both variants integrate disk energy over the same wall of time.
+    ``energy=True`` arms the DESIGN §15 energy ledger: the summary
+    gains per-tenant (``archive`` vs ``migration``) and per-tier
+    (``hot`` vs ``cold``) wall-joule books whose accounts sum to the
+    PowerMeter integral.
     """
     if mode not in ("staged", "write_through"):
         raise ValueError(f"unknown mode {mode!r}")
+    attribution_tracer = tracer
+    if energy and attribution_tracer is None:
+        # Tenant attribution rides the trace threading; arm a private
+        # tracer when the caller did not supply one.
+        attribution_tracer = RequestTracer()
     deployment, gateway, objects = _build_gateway(
         seed,
         power_budget_watts,
@@ -189,11 +205,17 @@ def run_point(
         detect_races=detect_races,
         event_digest=event_digest,
         metrics=metrics,
-        tracer=tracer,
+        tracer=attribution_tracer,
     )
     sim = deployment.sim
     cold_spaces = _cold_layout(objects)
     residents = _resident_refs(cold_spaces)
+    ledger: Optional[EnergyLedger] = None
+    meter: Optional[PowerMeter] = None
+    if energy:
+        ledger = EnergyLedger()
+        meter = PowerMeter(deployment, ledger=ledger)
+        meter.start()
 
     store = None
     if mode == "staged":
@@ -213,6 +235,13 @@ def run_point(
         )
         store.start()
         MigrationOrchestrator(store).start()
+    if ledger is not None:
+        if store is not None:
+            store.classify_tiers(ledger)
+        else:
+            # No hot tier in write-through: every disk books as cold.
+            for disk_id in sorted(deployment.disks):
+                ledger.set_tier(disk_id, "cold")
     sim.run(until=sim.now + WARM_SECONDS)
 
     uids = [f"arch-{index:05d}" for index in range(num_writes)]
@@ -339,6 +368,16 @@ def run_point(
     )
     if store is not None:
         summary["store"] = store.summary()
+    if ledger is not None and meter is not None:
+        auditor = ConservationAuditor(meter, ledger)
+        summary["energy"] = {
+            "identity": auditor.audit(sim.now),
+            "accounts": ledger.account_joules(),
+            "tiers": ledger.tier_joules(),
+            "spin_up_blames": len(ledger.blames),
+            "requests_charged": len(ledger.requests),
+            "export": ledger.to_dict(),
+        }
     if detect_races:
         summary["races"] = list(sim.races)
     return summary
@@ -355,6 +394,7 @@ def run(
     write_seconds: float = 600.0,
     total_seconds: float = 950.0,
     power_budget_watts: float = 40.0,
+    energy: bool = True,
 ) -> Dict:
     """Run both treatments on identically seeded deployments."""
     variants: Dict[str, Dict] = {}
@@ -372,6 +412,7 @@ def run(
             detect_races=detect_races,
             event_digest=event_digest,
             metrics=metrics,
+            energy=energy,
         )
         if detect_races:
             races.extend(summary.pop("races", []))
@@ -395,6 +436,18 @@ def run(
         ),
         "both_drained": bool(staged["drained"] and through["drained"]),
     }
+    if energy:
+        # §15 conservation identity holds in both variants, and the
+        # background demotion traffic books under the dedicated
+        # migration tenant, never under the user tenant.
+        anchors["energy_conserved"] = all(
+            variant["energy"]["identity"]["conserved"]
+            for variant in variants.values()
+        )
+        anchors["migration_energy_separated"] = (
+            staged["energy"]["accounts"].get("tenant:migration", 0.0) > 0.0
+            and "tenant:migration" not in through["energy"]["accounts"]
+        )
     result: Dict = {
         "params": {
             "seed": seed,
@@ -404,6 +457,7 @@ def run(
             "write_seconds": write_seconds,
             "total_seconds": total_seconds,
             "power_budget_watts": power_budget_watts,
+            "energy": energy,
         },
         "variants": variants,
         "anchors": anchors,
@@ -447,6 +501,30 @@ def _report(result: Dict) -> str:
             f"({store['demoted_bytes'] // (1 << 20)} MiB sequential), "
             f"{store['staging_overflows']} staging overflows"
         )
+    if any("energy" in result["variants"][n] for n in ("staged", "write_through")):
+        lines.append("")
+        lines.append("Energy attribution (wall joules by account / tier):")
+        for name in ("staged", "write_through"):
+            summary = result["variants"][name]
+            if "energy" not in summary:
+                continue
+            energy = summary["energy"]
+            accounts = energy["accounts"]
+            parts = ", ".join(
+                f"{account}={accounts[account]:.0f}J"
+                for account in sorted(accounts, key=lambda a: -accounts[a])
+            )
+            tiers = ", ".join(
+                f"{tier}={energy['tiers'][tier]['total']:.0f}J"
+                for tier in sorted(energy["tiers"])
+            )
+            identity = energy["identity"]
+            lines.append(f"  {name}: {parts}")
+            lines.append(
+                f"  {name}: tiers {tiers}; wall={identity['wall_joules']:.0f}J "
+                f"residual={identity['residual']:.9f}J "
+                f"conserved={identity['conserved']}"
+            )
     lines.append("")
     for name, holds in result["anchors"].items():
         lines.append(f"  anchor {name}: {'OK' if holds else 'FAILED'}")
@@ -462,6 +540,7 @@ def _build_result(
     total_seconds: float = 950.0,
     power_budget_watts: float = 40.0,
     detect_races: bool = False,
+    energy: bool = True,
 ) -> ExperimentResult:
     registry = MetricsRegistry()
     raw = run(
@@ -474,9 +553,31 @@ def _build_result(
         write_seconds=write_seconds,
         total_seconds=total_seconds,
         power_budget_watts=power_budget_watts,
+        energy=energy,
     )
     staged = raw["variants"]["staged"]
     through = raw["variants"]["write_through"]
+    metrics_out = {
+        "staged_spin_ups": staged["spin_ups"],
+        "write_through_spin_ups": through["spin_ups"],
+        "staged_write_p99_seconds": staged["write_p99"],
+        "write_through_write_p99_seconds": through["write_p99"],
+        "staged_cold_read_p99_seconds": staged["cold_read_p99"],
+        "write_through_cold_read_p99_seconds": through["cold_read_p99"],
+        "staged_energy_joules": staged["energy_joules"],
+        "write_through_energy_joules": through["energy_joules"],
+        "staged_demotion_batches": staged["store"]["demotion_batches"],
+        "staged_demoted_bytes": staged["store"]["demoted_bytes"],
+    }
+    if energy:
+        for name, summary in (("staged", staged), ("write_through", through)):
+            metrics_out[f"{name}_wall_joules"] = summary["energy"]["identity"][
+                "wall_joules"
+            ]
+            for account, joules in summary["energy"]["accounts"].items():
+                metrics_out[f"{name}_joules[{account}]"] = joules
+            for tier, book in summary["energy"]["tiers"].items():
+                metrics_out[f"{name}_tier_joules[{tier}]"] = book["total"]
     return ExperimentResult(
         name="tiering_staging",
         paper_ref="§IV-F extended: hot/cold tiering with write staging",
@@ -489,19 +590,9 @@ def _build_result(
             "total_seconds": total_seconds,
             "power_budget_watts": power_budget_watts,
             "detect_races": detect_races,
+            "energy": energy,
         },
-        metrics={
-            "staged_spin_ups": staged["spin_ups"],
-            "write_through_spin_ups": through["spin_ups"],
-            "staged_write_p99_seconds": staged["write_p99"],
-            "write_through_write_p99_seconds": through["write_p99"],
-            "staged_cold_read_p99_seconds": staged["cold_read_p99"],
-            "write_through_cold_read_p99_seconds": through["cold_read_p99"],
-            "staged_energy_joules": staged["energy_joules"],
-            "write_through_energy_joules": through["energy_joules"],
-            "staged_demotion_batches": staged["store"]["demotion_batches"],
-            "staged_demoted_bytes": staged["store"]["demoted_bytes"],
-        },
+        metrics=metrics_out,
         paper_expected={},
         relative_errors={},
         anchors=dict(raw["anchors"]),
@@ -525,6 +616,7 @@ EXPERIMENT = Experiment(
         "total_seconds": 950.0,
         "power_budget_watts": 40.0,
         "detect_races": False,
+        "energy": True,
     },
 )
 

@@ -8,13 +8,18 @@ their spin-up surge simultaneously and overwhelm the power supply.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.disk.device import SimulatedDisk
 from repro.sim import Event, Simulator
 from repro.usbsim.bus import UsbBus
 
-__all__ = ["RelayBank", "rolling_spin_up"]
+__all__ = ["RelayBank", "RelayListener", "rolling_spin_up"]
+
+#: ``(disk_id, powered)`` — fired on every relay state *change*, so
+#: observers (the power meter's fabric-gating model) can track relay
+#: state by subscription instead of re-scanning the bank every sample.
+RelayListener = Callable[[str, bool], None]
 
 
 class RelayBank:
@@ -25,6 +30,19 @@ class RelayBank:
         self.disks = disks
         self.bus = bus
         self.closed: Dict[str, bool] = {d: True for d in disks}
+        self._listeners: List[RelayListener] = []
+
+    def add_listener(self, listener: RelayListener) -> None:
+        """Call ``listener(disk_id, powered)`` on every relay flip."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: RelayListener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, disk_id: str, powered: bool) -> None:
+        for listener in self._listeners:
+            listener(disk_id, powered)
 
     def open_relay(self, disk_id: str) -> None:
         """Cut power: the disk drops off the USB bus immediately."""
@@ -38,6 +56,7 @@ class RelayBank:
         disk.power_off()
         if self.bus is not None:
             self.bus.set_disk_power(disk_id, False)
+        self._notify(disk_id, False)
 
     def close_relay(self, disk_id: str) -> Event:
         """Restore power; returns an event firing when the disk is ready."""
@@ -47,12 +66,15 @@ class RelayBank:
             done = self.sim.event()
             done.succeed()
             return done
+        was_closed = self.closed[disk_id]
         self.closed[disk_id] = True
         disk.power_on()
         ready = disk.spin_up()
         if self.bus is not None:
             # The bridge enumerates as soon as the enclosure has power.
             self.bus.set_disk_power(disk_id, True)
+        if not was_closed:
+            self._notify(disk_id, True)
         return ready
 
     def is_powered(self, disk_id: str) -> bool:

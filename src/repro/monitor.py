@@ -15,7 +15,10 @@ registry fall back to the pure state-walk view.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.energy import ConservationAuditor
 
 from repro.cluster.deployment import Deployment
 from repro.cluster.multiunit import DeployUnit, MultiUnitDeployment
@@ -50,6 +53,9 @@ class DeploymentSnapshot:
     #: Critical-path aggregate over the tracer's completed request
     #: traces, or ``None`` when tracing was not armed (NULL_TRACER).
     trace_breakdown: Optional[Dict] = None
+    #: Energy-ledger view — conservation identity plus per-account
+    #: joules — or ``None`` when no auditor was passed to ``snapshot``.
+    energy: Optional[Dict] = None
 
 
 def _unit_snapshot(unit_id: str, fabric, disks, endpoints) -> UnitSnapshot:
@@ -74,9 +80,15 @@ def _unit_snapshot(unit_id: str, fabric, disks, endpoints) -> UnitSnapshot:
 
 
 def snapshot(
-    deployment: Union[Deployment, MultiUnitDeployment]
+    deployment: Union[Deployment, MultiUnitDeployment],
+    energy: Optional["ConservationAuditor"] = None,
 ) -> DeploymentSnapshot:
-    """Collect the current state of a (single- or multi-unit) deployment."""
+    """Collect the current state of a (single- or multi-unit) deployment.
+
+    When ``energy`` names a :class:`repro.obs.ConservationAuditor`, the
+    snapshot also audits its ledger at the current sim time and carries
+    the identity plus the per-account joule books.
+    """
     from repro.coord import Role
 
     master = deployment.active_master()
@@ -102,6 +114,11 @@ def snapshot(
 
         requests = [ctx for ctx in tracer.completed if ctx.kind == "request"]
         snap.trace_breakdown = CriticalPathAnalyzer().aggregate(requests)
+    if energy is not None:
+        snap.energy = {
+            "identity": energy.audit(deployment.sim.now),
+            "accounts": energy.ledger.account_joules(),
+        }
     if isinstance(deployment, MultiUnitDeployment):
         for unit_id, unit in deployment.units.items():
             snap.units[unit_id] = _unit_snapshot(
@@ -144,6 +161,8 @@ def render_dashboard(snap: DeploymentSnapshot) -> str:
         lines.extend(_render_metrics(snap.metrics))
     if snap.trace_breakdown is not None:
         lines.extend(_render_breakdown(snap.trace_breakdown))
+    if snap.energy is not None:
+        lines.extend(_render_energy(snap.energy))
     return "\n".join(lines)
 
 
@@ -173,6 +192,24 @@ def _render_breakdown(aggregate: Dict) -> List[str]:
             continue
         bar = "#" * int(round(share * 40))
         lines.append(f"    {component:<20} {share:7.2%} {bar}")
+    return lines
+
+
+def _render_energy(energy: Dict) -> List[str]:
+    """Energy-attribution section, fed by the conservation auditor."""
+    identity = energy["identity"]
+    wall = identity["wall_joules"]
+    lines = [
+        f"  energy attribution (wall {wall:.1f} J, "
+        f"residual {identity['residual']:.9f} J, "
+        f"{'conserved' if identity['conserved'] else 'IDENTITY VIOLATED'}):"
+    ]
+    accounts = energy["accounts"]
+    for account in sorted(accounts, key=lambda a: (-accounts[a], a)):
+        joules = accounts[account]
+        share = joules / wall if wall else 0.0
+        bar = "#" * int(round(share * 40))
+        lines.append(f"    {account:<20} {joules:10.1f} J {share:7.2%} {bar}")
     return lines
 
 

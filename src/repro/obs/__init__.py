@@ -7,6 +7,18 @@ replays export byte-identical JSON.  See DESIGN.md, "Observability"
 and "Request tracing & latency attribution".
 """
 
+from repro.obs.energy import (
+    ACCOUNT_IDLE,
+    ACCOUNT_OVERHEAD,
+    ACCOUNT_SYSTEM,
+    ConservationAuditor,
+    DiskEnergyBook,
+    EnergyConservationError,
+    EnergyLedger,
+    EnergyRow,
+    SpinUpBlame,
+    tenant_account,
+)
 from repro.obs.export import export_json, export_text
 from repro.obs.metrics import (
     DEFAULT_DEPTH_BUCKETS,
@@ -43,9 +55,18 @@ from repro.obs.trace_export import (
 )
 
 __all__ = [
+    "ACCOUNT_IDLE",
+    "ACCOUNT_OVERHEAD",
+    "ACCOUNT_SYSTEM",
     "COMPONENTS",
+    "ConservationAuditor",
     "Counter",
     "CriticalPathAnalyzer",
+    "DiskEnergyBook",
+    "EnergyConservationError",
+    "EnergyLedger",
+    "EnergyRow",
+    "SpinUpBlame",
     "DEFAULT_DEPTH_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
     "FlightRecorder",
@@ -74,5 +95,6 @@ __all__ = [
     "export_json",
     "export_text",
     "export_trace_jsonl",
+    "tenant_account",
     "trace_to_dict",
 ]

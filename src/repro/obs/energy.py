@@ -1,0 +1,413 @@
+"""Per-tenant / per-request energy attribution with a conservation identity.
+
+The :class:`EnergyLedger` splits every sampled watt-interval of a
+deployment into attributable components — per-disk active / spin-up /
+idle / standby energy plus a fixed ``overhead`` account (fabric, fans,
+host adapters, PSU loss) — and charges disk-active and spin-up energy
+to the tenant and request that caused it, using the ownership stamps
+the disk layer records from the existing ``TraceContext`` threading
+(gateway admission → batch scheduler → ClientLib → iSCSI → disk).
+
+Accounts (DESIGN §15):
+
+* ``tenant:<name>`` — active/spin-up watts on a disk whose current
+  busy interval is owned by a live trace of that tenant.
+* ``system`` — owned disk work with no tenant (settle-phase I/O,
+  traces minted without a tenant, stale scopes after crash/remount).
+* ``idle`` — idle and spun-down (standby electronics) disk watts; no
+  request caused them, so no tenant is blamed.
+* ``overhead`` — everything that is not a disk: fabric switches/hubs,
+  fans, USB host adapters, and PSU conversion loss.
+
+The headline invariant mirrors the latency-attribution identity: the
+per-account joules **sum to the PowerMeter wall-energy integral** over
+any window.  It holds by construction — each sample's account watts
+are derived from the very same wall figure the meter records, with
+``overhead`` defined as the exact residual — so the only slack is
+floating-point summation order, bounded by the documented relative
+tolerance of :class:`ConservationAuditor` (default ``1e-9``).
+
+The ledger is sample-driven and passive: it allocates nothing on the
+I/O path, and when unarmed (no ledger passed to ``PowerMeter``) the
+only cost on the request path is the ownership stamp — two attribute
+writes per I/O — gated with the tracer under the ≤1.1x overhead check
+in the gateway smoke.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+from repro.units import Joules, SimSeconds, Watts
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (power -> obs)
+    from repro.obs.trace import TraceScope
+
+__all__ = [
+    "ACCOUNT_IDLE",
+    "ACCOUNT_OVERHEAD",
+    "ACCOUNT_SYSTEM",
+    "ConservationAuditor",
+    "DiskEnergyBook",
+    "EnergyConservationError",
+    "EnergyLedger",
+    "EnergyRow",
+    "SpinUpBlame",
+    "tenant_account",
+]
+
+#: Idle + standby disk watts: no request caused them.
+ACCOUNT_IDLE = "idle"
+#: Fabric + fans + host adapters + PSU loss: the non-disk residual.
+ACCOUNT_OVERHEAD = "overhead"
+#: Owned disk work with no tenant attached (settle I/O, stale scopes).
+ACCOUNT_SYSTEM = "system"
+#: Prefix for tenant accounts, e.g. ``tenant:interactive``.
+TENANT_PREFIX = "tenant:"
+
+#: Default tier name for disks never classified via :meth:`EnergyLedger.set_tier`.
+DEFAULT_TIER = "default"
+
+
+def tenant_account(tenant: Optional[str]) -> str:
+    """Account name for a tenant (``system`` when no tenant is known)."""
+    return TENANT_PREFIX + tenant if tenant else ACCOUNT_SYSTEM
+
+
+class EnergyConservationError(AssertionError):
+    """The attributed joules failed to sum to the wall-energy integral."""
+
+
+@dataclass(frozen=True)
+class EnergyRow:
+    """One attributed component of one power sample (wall watts)."""
+
+    account: str
+    disk_id: str  # "" for non-disk rows (overhead)
+    bucket: str  # active | spinup | idle | standby | overhead
+    trace_id: int  # -1 when no owning request
+    watts: Watts
+
+
+@dataclass(frozen=True)
+class SpinUpBlame:
+    """One spin-up, stamped with the exact sim time and owning trace."""
+
+    time: SimSeconds
+    disk_id: str
+    account: str
+    trace_id: int  # -1 when no owning request
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "time": self.time,
+            "disk_id": self.disk_id,
+            "account": self.account,
+            "trace_id": self.trace_id,
+        }
+
+
+@dataclass
+class DiskEnergyBook:
+    """Per-disk joules split by spin-state bucket."""
+
+    active: float = 0.0
+    spinup: float = 0.0
+    idle: float = 0.0
+    standby: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.active + self.spinup + self.idle + self.standby
+
+    def add(self, bucket: str, joules: float) -> None:
+        if bucket == "active":
+            self.active += joules
+        elif bucket == "spinup":
+            self.spinup += joules
+        elif bucket == "idle":
+            self.idle += joules
+        elif bucket == "standby":
+            self.standby += joules
+        else:
+            raise ValueError(f"unknown disk energy bucket {bucket!r}")
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "active": self.active,
+            "spinup": self.spinup,
+            "idle": self.idle,
+            "standby": self.standby,
+            "total": self.total,
+        }
+
+
+class EnergyLedger:
+    """Double-entry joule books over a sampled power series.
+
+    Fed by ``PowerMeter`` (pass ``ledger=`` at construction): each
+    sample closes the previous watt-interval ``[t_prev, t_now)`` at the
+    *previously* recorded per-account watts — the same step-function
+    semantics the meter's ``TimeSeries`` integrates — then records the
+    fresh breakdown.  :meth:`finalize` rolls the books forward to an
+    arbitrary end time exactly like ``PowerMeter.energy_joules`` does.
+    """
+
+    def __init__(self) -> None:
+        #: cumulative joules per account name.
+        self.accounts: Dict[str, float] = {}
+        #: cumulative joules per disk, split by spin-state bucket.
+        self.disks: Dict[str, DiskEnergyBook] = {}
+        #: cumulative joules per owning trace id (spin-up + active).
+        self.requests: Dict[int, float] = {}
+        #: spin-up blame events, in exact sim-time order.
+        self.blames: List[SpinUpBlame] = []
+        #: disk id -> tier name (see :meth:`set_tier`).
+        self.tiers: Dict[str, str] = {}
+        #: (time, cumulative per-account joules) after every sample.
+        self.checkpoints: List[Tuple[float, Dict[str, float]]] = []
+        self.samples = 0
+        self._checkpoint_times: List[float] = []
+        self._last_time: Optional[float] = None
+        self._last_rows: Tuple[EnergyRow, ...] = ()
+
+    def _checkpoint(self, now: float) -> None:
+        self.checkpoints.append((now, dict(self.accounts)))
+        self._checkpoint_times.append(now)
+
+    # -- classification ---------------------------------------------------
+
+    def set_tier(self, disk_id: str, tier: str) -> None:
+        """Classify a disk into a named tier (``hot`` / ``cold`` / ...)."""
+        self.tiers[disk_id] = tier
+
+    def tier_of(self, disk_id: str) -> str:
+        return self.tiers.get(disk_id, DEFAULT_TIER)
+
+    # -- feed (called by PowerMeter / disk listeners) ----------------------
+
+    def on_spin_up(self, disk_id: str, now: float, blame: "TraceScope") -> None:
+        """Disk spin-up listener: record exact-time blame for the surge."""
+        owner = blame.owner()
+        account = tenant_account(owner[0]) if owner is not None else ACCOUNT_SYSTEM
+        trace_id = owner[1] if owner is not None else -1
+        self.blames.append(
+            SpinUpBlame(SimSeconds(now), disk_id, account, trace_id)
+        )
+
+    def record_sample(self, now: float, rows: Sequence[EnergyRow]) -> None:
+        """Record the attributed breakdown of one power sample at ``now``.
+
+        ``rows`` must sum (in order) to the wall watts the meter stored
+        for the same instant — the conservation identity inherits its
+        exactness from that per-sample equality.
+        """
+        if self._last_time is not None and now > self._last_time:
+            self._apply(self._last_rows, now - self._last_time)
+        self._last_time = now
+        self._last_rows = tuple(rows)
+        self.samples += 1
+        self._checkpoint(now)
+
+    def finalize(self, end: float) -> None:
+        """Roll the books forward to ``end`` at the last sampled watts.
+
+        Mirrors the meter's integral, which extends the final sample's
+        value to the end of the window.  Idempotent for a fixed ``end``;
+        later samples simply continue from there.
+        """
+        if self._last_time is None or end <= self._last_time:
+            return
+        self._apply(self._last_rows, end - self._last_time)
+        self._last_time = end
+        self._checkpoint(end)
+
+    def _apply(self, rows: Sequence[EnergyRow], span: float) -> None:
+        for row in rows:
+            joules = row.watts * span
+            self.accounts[row.account] = (
+                self.accounts.get(row.account, 0.0) + joules
+            )
+            if row.disk_id:
+                book = self.disks.get(row.disk_id)
+                if book is None:
+                    book = self.disks.setdefault(row.disk_id, DiskEnergyBook())
+                book.add(row.bucket, joules)
+            if row.trace_id >= 0:
+                self.requests[row.trace_id] = (
+                    self.requests.get(row.trace_id, 0.0) + joules
+                )
+
+    # -- queries -----------------------------------------------------------
+
+    def attributed_joules(self) -> Joules:
+        """Total joules across every account (summed in sorted-key order)."""
+        return Joules(
+            sum(self.accounts[name] for name in sorted(self.accounts))
+        )
+
+    def account_joules(self) -> Dict[str, float]:
+        """Per-account cumulative joules, sorted by account name."""
+        return {name: self.accounts[name] for name in sorted(self.accounts)}
+
+    def tier_joules(self) -> Dict[str, Dict[str, float]]:
+        """Per-tier joules aggregated from the per-disk books."""
+        tiers: Dict[str, DiskEnergyBook] = {}
+        for disk_id in sorted(self.disks):
+            agg = tiers.setdefault(self.tier_of(disk_id), DiskEnergyBook())
+            book = self.disks[disk_id]
+            agg.active += book.active
+            agg.spinup += book.spinup
+            agg.idle += book.idle
+            agg.standby += book.standby
+        return {name: tiers[name].as_dict() for name in sorted(tiers)}
+
+    def _cumulative_at(self, t: float) -> Dict[str, float]:
+        """Cumulative per-account joules at time ``t``.
+
+        Linear interpolation between checkpoints is *exact*: watts are
+        stepwise-constant per sample interval, so cumulative energy is
+        piecewise-linear in time.  Beyond the last checkpoint the last
+        recorded breakdown extrapolates, matching :meth:`finalize`.
+        """
+        points = self.checkpoints
+        if not points or t <= points[0][0]:
+            return {}
+        index = bisect_right(self._checkpoint_times, t)
+        if index >= len(points):
+            totals = dict(points[-1][1])
+            span = t - points[-1][0]
+            for row in self._last_rows:
+                totals[row.account] = totals.get(row.account, 0.0) + row.watts * span
+            return totals
+        t0, before = points[index - 1]
+        t1, after = points[index]
+        if t1 <= t0:
+            return dict(after)
+        frac = (t - t0) / (t1 - t0)
+        names = set(before) | set(after)
+        return {
+            name: before.get(name, 0.0)
+            + frac * (after.get(name, 0.0) - before.get(name, 0.0))
+            for name in names
+        }
+
+    def window(self, t0: float, t1: float) -> Dict[str, float]:
+        """Exact per-account joules spent in the window ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"bad window [{t0}, {t1}]")
+        start = self._cumulative_at(t0)
+        end = self._cumulative_at(t1)
+        names = sorted(set(start) | set(end))
+        return {n: end.get(n, 0.0) - start.get(n, 0.0) for n in names}
+
+    def windowed_series(self, step: SimSeconds) -> List[Dict[str, Any]]:
+        """Per-account joules in consecutive ``step``-wide windows."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        if not self.checkpoints:
+            return []
+        start = self.checkpoints[0][0]
+        end = self.checkpoints[-1][0]
+        out: List[Dict[str, Any]] = []
+        t = start
+        while t < end:
+            upper = min(t + step, end)
+            out.append(
+                {"t0": t, "t1": upper, "accounts": self.window(t, upper)}
+            )
+            t = upper
+        return out
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe, key-sorted snapshot of every book."""
+        return {
+            "samples": self.samples,
+            "accounts": self.account_joules(),
+            "attributed_joules": self.attributed_joules(),
+            "tiers": self.tier_joules(),
+            "disks": {
+                disk_id: self.disks[disk_id].as_dict()
+                for disk_id in sorted(self.disks)
+            },
+            "requests": {
+                str(trace_id): self.requests[trace_id]
+                for trace_id in sorted(self.requests)
+            },
+            "spin_up_blames": [blame.as_dict() for blame in self.blames],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical across same-seed replays."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+class ConservationAuditor:
+    """Asserts the energy conservation identity over any window.
+
+    ``attributed == wall`` up to floating-point summation order: the
+    ledger derives each sample's rows from the very watts figure the
+    meter integrates, with ``overhead`` the exact residual, so the only
+    slack is reassociation error — bounded by ``rel_tolerance`` scaled
+    by the wall energy (documented default ``1e-9``, i.e. nanojoules
+    per joule).
+    """
+
+    def __init__(
+        self,
+        meter: "MeterLike",
+        ledger: EnergyLedger,
+        rel_tolerance: float = 1e-9,
+    ) -> None:
+        self.meter = meter
+        self.ledger = ledger
+        self.rel_tolerance = rel_tolerance
+
+    def audit(self, end: float) -> Dict[str, Any]:
+        """Roll the ledger to ``end`` and compare against the meter."""
+        self.ledger.finalize(end)
+        wall = float(self.meter.energy_joules(SimSeconds(end)))
+        attributed = float(self.ledger.attributed_joules())
+        residual = attributed - wall
+        bound = self.rel_tolerance * max(1.0, abs(wall))
+        return {
+            "wall_joules": wall,
+            "attributed_joules": attributed,
+            "residual": residual,
+            "tolerance": bound,
+            "conserved": abs(residual) <= bound,
+        }
+
+    def assert_conserved(self, end: float) -> Dict[str, Any]:
+        """Audit and raise :class:`EnergyConservationError` on failure."""
+        report = self.audit(end)
+        if not report["conserved"]:
+            raise EnergyConservationError(
+                "energy attribution identity violated: "
+                f"attributed {report['attributed_joules']!r} J vs wall "
+                f"{report['wall_joules']!r} J "
+                f"(residual {report['residual']!r} > {report['tolerance']!r})"
+            )
+        return report
+
+
+class MeterLike(Protocol):
+    """Structural stand-in for ``PowerMeter`` (avoids an import cycle)."""
+
+    def energy_joules(self, end_time: Optional[SimSeconds] = None) -> Joules:
+        """Wall-energy integral of the sampled series up to ``end_time``."""
+        ...

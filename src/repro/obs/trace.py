@@ -277,6 +277,19 @@ class TraceScope:
     def enabled(self) -> bool:
         return self._epoch == self._ctx._epoch
 
+    def owner(self) -> Optional[Tuple[Optional[str], int]]:
+        """``(tenant, trace_id)`` while this scope is live, else ``None``.
+
+        The disk layer stamps busy/spin-up intervals with this pair so
+        the energy ledger can charge joules to the owning tenant and
+        request.  A stale scope (crashed attempt after
+        ``invalidate_scopes``) yields ``None``, booking orphaned media
+        work to the ``system`` account instead of a tenant.
+        """
+        if self._epoch == self._ctx._epoch:
+            return (self._ctx.tenant, self._ctx.trace_id)
+        return None
+
     def phase(self, component: str) -> None:
         if self._epoch == self._ctx._epoch:
             self._ctx.phase(component)
@@ -382,6 +395,9 @@ class NullTraceScope(TraceScope):
     @property
     def enabled(self) -> bool:
         return False
+
+    def owner(self) -> Optional[Tuple[Optional[str], int]]:
+        return None
 
     def phase(self, component: str) -> None:
         pass

@@ -5,6 +5,7 @@ from repro.power.policy import (
     AdaptiveTimeoutPolicy,
     FixedTimeoutPolicy,
     PolicyHandle,
+    SpinDownPolicy,
     run_policy,
 )
 from repro.power.systems import (
@@ -24,6 +25,7 @@ __all__ = [
     "PolicyHandle",
     "PowerBreakdown",
     "PowerMeter",
+    "SpinDownPolicy",
     "dd860_power",
     "pergamum_power",
     "run_policy",

@@ -9,10 +9,11 @@ their workload can replace it entirely.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional, Protocol
 
 from repro.disk.device import SimulatedDisk
 from repro.disk.states import DiskPowerState
+from repro.obs.trace import TraceScope
 from repro.sim import Simulator
 from repro.units import SimSeconds
 
@@ -20,8 +21,21 @@ __all__ = [
     "AdaptiveTimeoutPolicy",
     "FixedTimeoutPolicy",
     "PolicyHandle",
+    "SpinDownPolicy",
     "run_policy",
 ]
+
+
+class SpinDownPolicy(Protocol):
+    """What :func:`run_policy` needs from a policy object."""
+
+    def timeout_for(self, disk_id: str) -> SimSeconds:
+        """Current idle timeout for one disk."""
+        ...
+
+    def on_spin_up(self, disk_id: str, now: SimSeconds) -> None:
+        """Observe a wake-up (for adaptivity)."""
+        ...
 
 
 @dataclass
@@ -75,15 +89,21 @@ class PolicyHandle:
     """Cancellation handle for a running :func:`run_policy` loop."""
 
     stopped: bool = False
+    _detach: Optional[Callable[[], None]] = None
 
     def stop(self) -> None:
         self.stopped = True
+        if self._detach is not None:
+            # Unhook spin-up listeners immediately; the defer callback
+            # itself lapses (inert) at its next firing.
+            self._detach()
+            self._detach = None
 
 
 def run_policy(
     sim: Simulator,
     disks: Dict[str, SimulatedDisk],
-    policy,
+    policy: SpinDownPolicy,
     check_interval: SimSeconds = SimSeconds(10.0),
 ) -> PolicyHandle:
     """Drive a spin-down policy over ``disks`` on the deferred fast path.
@@ -91,20 +111,32 @@ def run_policy(
     Each check is a raw :meth:`Simulator.defer` callback that
     reschedules itself — no Timeout/Event allocation per interval, so
     a fleet of policy loops costs the kernel nothing between checks.
-    Returns a :class:`PolicyHandle`; :meth:`PolicyHandle.stop` lets the
-    loop lapse at its next firing.
+    Wake-ups reach ``policy.on_spin_up`` through per-disk spin-up
+    listeners at the *exact* sim time of the surge (not quantised to
+    the next check boundary, as the old ``spin_up_count`` polling was).
+    Returns a :class:`PolicyHandle`; :meth:`PolicyHandle.stop` detaches
+    the listeners immediately and lets the loop lapse at its next
+    firing, so a stopped-and-restarted policy never ticks twice.
     """
     handle = PolicyHandle()
-    spin_counts = {d: disk.states.spin_up_count for d, disk in disks.items()}
+
+    def on_spin_up(disk_id: str, now: float, blame: TraceScope) -> None:
+        if not handle.stopped:
+            policy.on_spin_up(disk_id, SimSeconds(now))
+
+    for disk in disks.values():
+        disk.add_spin_up_listener(on_spin_up)
+
+    def detach() -> None:
+        for disk in disks.values():
+            disk.remove_spin_up_listener(on_spin_up)
+
+    handle._detach = detach
 
     def check() -> None:
         if handle.stopped:
             return
         for disk_id, disk in disks.items():
-            # Detect wake-ups since the last check for adaptivity.
-            if disk.states.spin_up_count > spin_counts[disk_id]:
-                spin_counts[disk_id] = disk.states.spin_up_count
-                policy.on_spin_up(disk_id, sim.now)
             if disk.power_state is not DiskPowerState.IDLE:
                 continue
             if sim.now - disk.idle_since >= policy.timeout_for(disk_id):

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.gateway.api import ObjectRef, ReadObject, WriteObject
 from repro.gateway.gateway import GatewayObject
 from repro.gateway.request import GatewayRequest
+from repro.obs.energy import EnergyLedger
 from repro.obs.trace import NULL_TRACE, TraceContext
 from repro.shardstore.routing import stable_hash
 from repro.units import MiB, SimSeconds
@@ -275,6 +276,17 @@ class TieredStore:
 
     def cold_spaces(self) -> List[str]:
         return list(self._cold_spaces)
+
+    def classify_tiers(self, ledger: "EnergyLedger") -> None:
+        """Label this store's disks on an energy ledger.
+
+        The pinned hot tier books under ``hot`` and every other gateway
+        disk under ``cold``, so per-tier joule tables can show what the
+        always-spinning tier's rent buys.
+        """
+        hot = set(self._hot_disks)
+        for disk_id in sorted(self.gateway._disks):
+            ledger.set_tier(disk_id, "hot" if disk_id in hot else "cold")
 
     def start(self) -> None:
         """Spin the hot tier up so staged writes never wait on a motor.
